@@ -1,0 +1,13 @@
+// Figure 11: HEFT vs ILHA on DOOLITTLE, 10 processors, c = 10, B = 20.
+//
+// The paper: ILHA gains roughly 10% over HEFT, reaching 4.4 at n = 500.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  oneport::analysis::FigureConfig config;
+  config.testbed = "DOOLITTLE";
+  config.chunk_size = 20;
+  return opbench::figure_main(
+      argc, argv, "Figure 11 -- DOOLITTLE, ratio vs problem size", config,
+      "ILHA ~10% over HEFT, ILHA -> 4.4 at n=500");
+}

@@ -1,0 +1,50 @@
+// §5.2: the experimental platform and its analytic bounds.
+//
+// 10 processors (5x cycle-time 6, 3x 10, 2x 15):
+//   * smallest perfectly balanced chunk B = 38
+//     (5x5 + 3x3 + 2x2 tasks, every processor busy 30 time units);
+//   * speedup cap over the fastest processor 228/30 = 7.6.
+// This binary regenerates both numbers and the optimal distribution that
+// realizes them.
+#include <iostream>
+
+#include "platform/load_balance.hpp"
+#include "platform/platform.hpp"
+#include "util/csv.hpp"
+
+using namespace oneport;
+
+int main() {
+  const Platform platform = make_paper_platform();
+
+  std::cout << "Platform of Section 5.2 (" << platform.num_processors()
+            << " processors)\n\n";
+  csv::Table procs({"processor", "cycle_time", "balanced_fraction"});
+  const std::vector<double> fractions = balanced_fractions(platform);
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    procs.add_row({"P" + std::to_string(p),
+                   csv::format_number(platform.cycle_time(p)),
+                   csv::format_number(
+                       fractions[static_cast<std::size_t>(p)], 4)});
+  }
+  procs.write_pretty(std::cout);
+
+  const std::int64_t chunk = perfect_balance_chunk(platform);
+  const std::vector<int> dist =
+      optimal_distribution(platform, static_cast<int>(chunk));
+  std::cout << "\nperfect-balance chunk B = " << chunk
+            << " (paper: 38); distribution over the three speed classes: ";
+  for (std::size_t p = 0; p < dist.size(); ++p) {
+    if (p) std::cout << "+";
+    std::cout << dist[p];
+  }
+  std::cout << " tasks\nparallel time of that chunk = "
+            << csv::format_number(distribution_makespan(platform, dist))
+            << " (paper: 30), sequential on the fastest = "
+            << csv::format_number(6.0 * static_cast<double>(chunk))
+            << " (paper: 228)\n";
+  std::cout << "speedup upper bound = "
+            << csv::format_number(speedup_upper_bound(platform))
+            << " (paper: 7.6)\n";
+  return 0;
+}

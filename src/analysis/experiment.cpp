@@ -1,0 +1,81 @@
+#include "analysis/experiment.hpp"
+
+#include <ostream>
+
+#include "analysis/metrics.hpp"
+#include "core/heft.hpp"
+#include "core/ilha.hpp"
+#include "sched/validate.hpp"
+#include "testbeds/registry.hpp"
+#include "util/error.hpp"
+
+namespace oneport::analysis {
+
+std::vector<FigureRow> run_figure(const FigureConfig& config,
+                                  const Platform& platform) {
+  const testbeds::TestbedEntry testbed = testbeds::find_testbed(config.testbed);
+  std::vector<FigureRow> rows;
+  rows.reserve(config.sizes.size());
+  for (const int n : config.sizes) {
+    const TaskGraph graph = testbed.make(n, config.comm_ratio);
+
+    const Schedule heft_sched =
+        heft(graph, platform, {.model = EftEngine::Model::kOnePort});
+    const Schedule ilha_sched =
+        ilha(graph, platform, {.model = EftEngine::Model::kOnePort,
+                               .chunk_size = config.chunk_size});
+    if (config.validate) {
+      const ValidationResult vh = validate_one_port(heft_sched, graph,
+                                                    platform);
+      ensure(vh.ok(), "HEFT schedule invalid for " + config.testbed + "(" +
+                          std::to_string(n) + "): " + vh.message());
+      const ValidationResult vi = validate_one_port(ilha_sched, graph,
+                                                    platform);
+      ensure(vi.ok(), "ILHA schedule invalid for " + config.testbed + "(" +
+                          std::to_string(n) + "): " + vi.message());
+    }
+
+    FigureRow row;
+    row.size = n;
+    row.heft_makespan = heft_sched.makespan();
+    row.ilha_makespan = ilha_sched.makespan();
+    row.heft_speedup = speedup(graph, platform, heft_sched);
+    row.ilha_speedup = speedup(graph, platform, ilha_sched);
+    row.heft_comms = heft_sched.num_comms();
+    row.ilha_comms = ilha_sched.num_comms();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+csv::Table figure_table(const std::vector<FigureRow>& rows) {
+  csv::Table table({"n", "heft_ratio", "ilha_ratio", "ilha_gain_pct",
+                    "heft_makespan", "ilha_makespan", "heft_msgs",
+                    "ilha_msgs"});
+  for (const FigureRow& r : rows) {
+    const double gain =
+        r.heft_speedup > 0.0
+            ? (r.ilha_speedup / r.heft_speedup - 1.0) * 100.0
+            : 0.0;
+    table.add_row({std::to_string(r.size), csv::format_number(r.heft_speedup),
+                   csv::format_number(r.ilha_speedup),
+                   csv::format_number(gain, 1),
+                   csv::format_number(r.heft_makespan, 0),
+                   csv::format_number(r.ilha_makespan, 0),
+                   std::to_string(r.heft_comms),
+                   std::to_string(r.ilha_comms)});
+  }
+  return table;
+}
+
+void print_figure(std::ostream& os, const std::string& title,
+                  const FigureConfig& config, const Platform& platform) {
+  os << title << "\n";
+  os << "testbed=" << config.testbed << " c=" << config.comm_ratio
+     << " B=" << config.chunk_size << " p=" << platform.num_processors()
+     << "\n";
+  figure_table(run_figure(config, platform)).write_pretty(os);
+  os.flush();
+}
+
+}  // namespace oneport::analysis

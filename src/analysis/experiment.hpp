@@ -1,0 +1,46 @@
+// The experiment harness behind Figures 7-12: for one testbed, sweep the
+// problem size, run HEFT and ILHA under the one-port model, validate both
+// schedules, and report the paper's ratio (sequential time / makespan).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "util/csv.hpp"
+
+namespace oneport::analysis {
+
+struct FigureConfig {
+  std::string testbed;                          ///< registry name
+  std::vector<int> sizes = {100, 200, 300, 400, 500};
+  double comm_ratio = 10.0;                     ///< the paper's c
+  int chunk_size = 38;                          ///< ILHA's B
+  bool validate = true;  ///< run the one-port validator on every schedule
+};
+
+struct FigureRow {
+  int size = 0;
+  double heft_speedup = 0.0;
+  double ilha_speedup = 0.0;
+  double heft_makespan = 0.0;
+  double ilha_makespan = 0.0;
+  std::size_t heft_comms = 0;
+  std::size_t ilha_comms = 0;
+};
+
+/// Runs the sweep on `platform` (the paper uses make_paper_platform()).
+/// Throws std::logic_error when a produced schedule fails validation.
+[[nodiscard]] std::vector<FigureRow> run_figure(const FigureConfig& config,
+                                                const Platform& platform);
+
+/// Formats rows like the paper's plots: one line per size with both
+/// ratios, message counts and the ILHA/HEFT gain.
+[[nodiscard]] csv::Table figure_table(const std::vector<FigureRow>& rows);
+
+/// Convenience: run + pretty-print with a title.
+void print_figure(std::ostream& os, const std::string& title,
+                  const FigureConfig& config, const Platform& platform);
+
+}  // namespace oneport::analysis

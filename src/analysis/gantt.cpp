@@ -1,0 +1,126 @@
+#include "analysis/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace oneport::analysis {
+
+namespace {
+
+/// Paints [start, end) into a character row scaled to `width` columns over
+/// [0, horizon).
+void paint(std::string& row, double start, double end, double horizon,
+           char mark) {
+  if (horizon <= 0.0) return;
+  const int width = static_cast<int>(row.size());
+  int lo = static_cast<int>(start / horizon * width);
+  int hi = static_cast<int>(end / horizon * width);
+  lo = std::clamp(lo, 0, width - 1);
+  hi = std::clamp(hi, lo, width - 1);
+  // Degenerate slots still get one visible cell.
+  for (int i = lo; i <= hi; ++i) {
+    if (end > start || row[static_cast<std::size_t>(i)] == ' ') {
+      row[static_cast<std::size_t>(i)] = mark;
+    }
+  }
+}
+
+}  // namespace
+
+void write_gantt_ascii(std::ostream& os, const Schedule& schedule,
+                       const Platform& platform, const GanttOptions& options) {
+  OP_REQUIRE(options.width >= 10, "gantt width too small");
+  const double horizon = schedule.makespan();
+  const auto p = static_cast<std::size_t>(platform.num_processors());
+  const auto w = static_cast<std::size_t>(options.width);
+
+  std::vector<std::string> compute(p, std::string(w, ' '));
+  std::vector<std::string> send(p, std::string(w, ' '));
+  std::vector<std::string> recv(p, std::string(w, ' '));
+
+  for (TaskId v = 0; v < schedule.num_tasks(); ++v) {
+    const TaskPlacement& t = schedule.task(v);
+    if (!t.placed()) continue;
+    paint(compute[static_cast<std::size_t>(t.proc)], t.start, t.finish,
+          horizon, '#');
+  }
+  for (const CommPlacement& c : schedule.comms()) {
+    paint(send[static_cast<std::size_t>(c.from)], c.start, c.finish, horizon,
+          's');
+    paint(recv[static_cast<std::size_t>(c.to)], c.start, c.finish, horizon,
+          'r');
+  }
+
+  os << "makespan = " << csv::format_number(horizon) << ", "
+     << schedule.num_comms() << " messages\n";
+  for (std::size_t q = 0; q < p; ++q) {
+    os << "P" << q << " cpu  |" << compute[q] << "|\n";
+    if (options.show_ports) {
+      os << "P" << q << " send |" << send[q] << "|\n";
+      os << "P" << q << " recv |" << recv[q] << "|\n";
+    }
+  }
+}
+
+void write_gantt_svg(std::ostream& os, const Schedule& schedule,
+                     const Platform& platform, const SvgOptions& options) {
+  const double horizon = std::max(schedule.makespan(), 1e-9);
+  const int rows_per_proc = options.show_ports ? 3 : 1;
+  const int p = platform.num_processors();
+  const int label_px = 70;
+  const int chart_px = options.width_px - label_px;
+  const int height = options.row_height_px * rows_per_proc * p + 30;
+
+  auto x_of = [&](double t) {
+    return label_px + t / horizon * static_cast<double>(chart_px);
+  };
+  auto y_of = [&](int proc, int lane) {
+    return 10 + (proc * rows_per_proc + lane) * options.row_height_px;
+  };
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << options.width_px << "\" height=\"" << height << "\">\n";
+  os << "<style>text{font:10px monospace;}</style>\n";
+  for (int q = 0; q < p; ++q) {
+    os << "<text x=\"2\" y=\"" << y_of(q, 0) + 14 << "\">P" << q
+       << " cpu</text>\n";
+    if (options.show_ports) {
+      os << "<text x=\"2\" y=\"" << y_of(q, 1) + 14 << "\">P" << q
+         << " snd</text>\n";
+      os << "<text x=\"2\" y=\"" << y_of(q, 2) + 14 << "\">P" << q
+         << " rcv</text>\n";
+    }
+  }
+  for (TaskId v = 0; v < schedule.num_tasks(); ++v) {
+    const TaskPlacement& t = schedule.task(v);
+    if (!t.placed()) continue;
+    const double x = x_of(t.start);
+    const double wpx = std::max(x_of(t.finish) - x, 1.0);
+    os << "<rect x=\"" << x << "\" y=\"" << y_of(t.proc, 0) << "\" width=\""
+       << wpx << "\" height=\"" << options.row_height_px - 4
+       << "\" fill=\"#4e79a7\" stroke=\"#333\"/>\n";
+    if (options.label_tasks && wpx > 18.0) {
+      os << "<text x=\"" << x + 2 << "\" y=\"" << y_of(t.proc, 0) + 13
+         << "\" fill=\"#fff\">" << v << "</text>\n";
+    }
+  }
+  if (options.show_ports) {
+    for (const CommPlacement& c : schedule.comms()) {
+      const double x = x_of(c.start);
+      const double wpx = std::max(x_of(c.finish) - x, 1.0);
+      os << "<rect x=\"" << x << "\" y=\"" << y_of(c.from, 1) << "\" width=\""
+         << wpx << "\" height=\"" << options.row_height_px - 4
+         << "\" fill=\"#f28e2b\" stroke=\"#333\"/>\n";
+      os << "<rect x=\"" << x << "\" y=\"" << y_of(c.to, 2) << "\" width=\""
+         << wpx << "\" height=\"" << options.row_height_px - 4
+         << "\" fill=\"#76b7b2\" stroke=\"#333\"/>\n";
+    }
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace oneport::analysis

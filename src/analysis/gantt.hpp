@@ -1,0 +1,40 @@
+// Gantt-chart rendering of schedules: ASCII for terminals, SVG for docs.
+//
+// Rendering is deliberately lossy for large schedules (time is binned to
+// the output width); it exists to *see* port contention and load balance,
+// not to measure them -- use metrics.hpp for numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport::analysis {
+
+struct GanttOptions {
+  int width = 96;          ///< characters (ASCII) of the time axis
+  bool show_ports = true;  ///< add send/receive-port rows per processor
+};
+
+/// Writes an ASCII Gantt chart: per processor a compute row ('#' busy) and
+/// optionally a send row ('s') and a receive row ('r').
+void write_gantt_ascii(std::ostream& os, const Schedule& schedule,
+                       const Platform& platform,
+                       const GanttOptions& options = {});
+
+struct SvgOptions {
+  int width_px = 1000;
+  int row_height_px = 22;
+  bool show_ports = true;
+  /// Label task rectangles with task ids when they are wide enough.
+  bool label_tasks = true;
+};
+
+/// Writes an SVG Gantt chart (one band per processor: compute + ports).
+void write_gantt_svg(std::ostream& os, const Schedule& schedule,
+                     const Platform& platform, const SvgOptions& options = {});
+
+}  // namespace oneport::analysis

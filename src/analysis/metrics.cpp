@@ -1,0 +1,54 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace oneport::analysis {
+
+double sequential_time(const TaskGraph& graph, const Platform& platform) {
+  return graph.total_weight() *
+         platform.cycle_time(platform.fastest_processor());
+}
+
+double speedup(const TaskGraph& graph, const Platform& platform,
+               const Schedule& schedule) {
+  const double makespan = schedule.makespan();
+  OP_REQUIRE(makespan > 0.0, "speedup undefined for empty schedules");
+  return sequential_time(graph, platform) / makespan;
+}
+
+ScheduleStats compute_stats(const TaskGraph& graph, const Platform& platform,
+                            const Schedule& schedule) {
+  ScheduleStats stats;
+  stats.makespan = schedule.makespan();
+  stats.speedup = stats.makespan > 0.0
+                      ? sequential_time(graph, platform) / stats.makespan
+                      : 0.0;
+  stats.num_comms = schedule.num_comms();
+  for (const CommPlacement& c : schedule.comms()) {
+    stats.total_comm_time += c.finish - c.start;
+  }
+  stats.busy.assign(static_cast<std::size_t>(platform.num_processors()), 0.0);
+  for (TaskId v = 0; v < schedule.num_tasks(); ++v) {
+    const TaskPlacement& t = schedule.task(v);
+    if (t.placed()) {
+      stats.busy[static_cast<std::size_t>(t.proc)] += t.finish - t.start;
+    }
+  }
+  double total_busy = 0.0;
+  double max_busy = 0.0;
+  for (const double b : stats.busy) {
+    total_busy += b;
+    max_busy = std::max(max_busy, b);
+  }
+  const double mean_busy =
+      stats.busy.empty() ? 0.0
+                         : total_busy / static_cast<double>(stats.busy.size());
+  stats.mean_utilization =
+      stats.makespan > 0.0 ? mean_busy / stats.makespan : 0.0;
+  stats.load_imbalance = mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+  return stats;
+}
+
+}  // namespace oneport::analysis

@@ -1,0 +1,37 @@
+// Schedule quality metrics and the paper's reporting conventions.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport::analysis {
+
+/// Time to run the whole application on the fastest processor with no
+/// communications: sum(w) * min_i t_i.  This is the numerator of the
+/// ratio the paper plots in Figures 7-12.
+[[nodiscard]] double sequential_time(const TaskGraph& graph,
+                                     const Platform& platform);
+
+/// sequential_time / makespan -- the paper's "ratio (execution time)/
+/// (sequential time)" axis (values > 1 mean the parallel schedule wins).
+[[nodiscard]] double speedup(const TaskGraph& graph, const Platform& platform,
+                             const Schedule& schedule);
+
+struct ScheduleStats {
+  double makespan = 0.0;
+  double speedup = 0.0;
+  std::size_t num_comms = 0;
+  double total_comm_time = 0.0;      ///< sum of message durations
+  std::vector<double> busy;          ///< per-processor compute time
+  double mean_utilization = 0.0;     ///< mean busy / makespan
+  double load_imbalance = 0.0;       ///< max busy / mean busy (1 = perfect)
+};
+
+[[nodiscard]] ScheduleStats compute_stats(const TaskGraph& graph,
+                                          const Platform& platform,
+                                          const Schedule& schedule);
+
+}  // namespace oneport::analysis

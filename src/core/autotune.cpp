@@ -1,0 +1,46 @@
+#include "core/autotune.hpp"
+
+#include <algorithm>
+
+#include "platform/load_balance.hpp"
+#include "util/error.hpp"
+
+namespace oneport {
+
+IlhaAutotuneResult ilha_autotune(const TaskGraph& graph,
+                                 const Platform& platform,
+                                 const IlhaOptions& base,
+                                 std::vector<int> candidates) {
+  if (candidates.empty()) {
+    const int p = platform.num_processors();
+    int m = 4 * p;
+    try {
+      m = static_cast<int>(perfect_balance_chunk(platform));
+    } catch (const std::invalid_argument&) {
+      // Non-integer cycle times: fall back to the 4p span.
+    }
+    candidates = {p, (p + m) / 2, m, 2 * m};
+  }
+  for (int& b : candidates) b = std::max(b, 1);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  IlhaAutotuneResult result;
+  for (const int b : candidates) {
+    IlhaOptions options = base;
+    options.chunk_size = b;
+    Schedule schedule = ilha(graph, platform, options);
+    const double makespan = schedule.makespan();
+    result.trials.emplace_back(b, makespan);
+    if (result.chunk_size == 0 || makespan < result.makespan - kTimeEps) {
+      result.schedule = std::move(schedule);
+      result.chunk_size = b;
+      result.makespan = makespan;
+    }
+  }
+  OP_ASSERT(result.chunk_size > 0, "no candidate chunk size tried");
+  return result;
+}
+
+}  // namespace oneport

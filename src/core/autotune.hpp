@@ -1,0 +1,33 @@
+// Automatic selection of ILHA's chunk parameter B.
+//
+// §5.3: "we have not found any systematic technique to predict the
+// optimal value of B. Note however that the range of B is limited: with
+// equal-size tasks and p processors ... we can sample the interval
+// [1..M]" with M the perfect-balance chunk.  This helper does exactly
+// that: run ILHA for a small candidate set spanning [p .. 2M] and keep
+// the best schedule.  Costs one full ILHA run per candidate.
+#pragma once
+
+#include <vector>
+
+#include "core/ilha.hpp"
+
+namespace oneport {
+
+struct IlhaAutotuneResult {
+  Schedule schedule;
+  int chunk_size = 0;   ///< the winning B
+  double makespan = 0.0;
+  /// (B, makespan) for every candidate tried, in candidate order.
+  std::vector<std::pair<int, double>> trials;
+};
+
+/// Runs ILHA for every candidate chunk size and returns the best
+/// schedule.  `base.chunk_size` is ignored.  An empty `candidates` list
+/// defaults to {p, (p+M)/2, M, 2M} (deduplicated, ascending), where M is
+/// the perfect-balance chunk when cycle times are integral, else 4p.
+[[nodiscard]] IlhaAutotuneResult ilha_autotune(
+    const TaskGraph& graph, const Platform& platform,
+    const IlhaOptions& base = {}, std::vector<int> candidates = {});
+
+}  // namespace oneport

@@ -1,0 +1,169 @@
+#include "core/eft_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+EftEngine::EftEngine(const TaskGraph& graph, const Platform& platform,
+                     Model model, const RoutingTable* routing)
+    : graph_(graph),
+      platform_(platform),
+      model_(model),
+      routing_(routing),
+      placements_(graph.num_tasks()),
+      compute_(static_cast<std::size_t>(platform.num_processors())),
+      send_(static_cast<std::size_t>(platform.num_processors())),
+      recv_(static_cast<std::size_t>(platform.num_processors())) {
+  OP_REQUIRE(graph.finalized(), "graph must be finalized");
+  OP_REQUIRE(routing == nullptr ||
+                 routing->num_processors() == platform.num_processors(),
+             "routing table does not match the platform");
+}
+
+bool EftEngine::ready(TaskId v) const {
+  for (const EdgeRef& e : graph_.predecessors(v)) {
+    if (!placements_[e.task].placed()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Lazily created per-processor overlays so that hops reserved within one
+/// evaluation cannot collide with each other.
+class OverlaySet {
+ public:
+  explicit OverlaySet(const std::vector<Timeline>& base) : base_(base) {
+    overlays_.resize(base.size());
+  }
+
+  TimelineOverlay& of(ProcId p) {
+    auto& slot = overlays_[static_cast<std::size_t>(p)];
+    if (!slot) {
+      slot = std::make_unique<TimelineOverlay>(
+          base_[static_cast<std::size_t>(p)]);
+    }
+    return *slot;
+  }
+
+ private:
+  const std::vector<Timeline>& base_;
+  std::vector<std::unique_ptr<TimelineOverlay>> overlays_;
+};
+
+}  // namespace
+
+Evaluation EftEngine::evaluate(TaskId v, ProcId proc) const {
+  OP_REQUIRE(proc >= 0 && proc < platform_.num_processors(),
+             "processor out of range");
+  OP_REQUIRE(!scheduled(v), "task " << v << " already scheduled");
+
+  Evaluation eval;
+  eval.task = v;
+  eval.proc = proc;
+
+  // Predecessors ordered by data-ready time (finish asc, id asc).
+  std::vector<const EdgeRef*> preds;
+  preds.reserve(graph_.in_degree(v));
+  for (const EdgeRef& e : graph_.predecessors(v)) {
+    OP_REQUIRE(placements_[e.task].placed(),
+               "predecessor " << e.task << " of " << v << " not scheduled");
+    preds.push_back(&e);
+  }
+  std::sort(preds.begin(), preds.end(),
+            [this](const EdgeRef* a, const EdgeRef* b) {
+              const double fa = placements_[a->task].finish;
+              const double fb = placements_[b->task].finish;
+              if (fa != fb) return fa < fb;
+              return a->task < b->task;
+            });
+
+  double arrival = 0.0;
+  OverlaySet sends(send_);
+  OverlaySet recvs(recv_);
+  for (const EdgeRef* e : preds) {
+    const TaskPlacement& src = placements_[e->task];
+    if (src.proc == proc) {
+      arrival = std::max(arrival, src.finish);
+      continue;
+    }
+    // Routed path (direct {q, proc} when no routing table is set); each
+    // hop is a store-and-forward message.
+    std::vector<ProcId> path;
+    if (routing_ != nullptr) {
+      path = routing_->path(src.proc, proc);
+    } else {
+      path = {src.proc, proc};
+    }
+    double cursor = src.finish;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const ProcId a = path[h];
+      const ProcId b = path[h + 1];
+      const double duration = platform_.comm_time(e->data, a, b);
+      OP_REQUIRE(std::isfinite(duration),
+                 "no direct link P" << a << "->P" << b
+                                    << " and no routing table provided");
+      double start = cursor;
+      if (model_ == Model::kOnePort) {
+        start = earliest_joint_fit(sends.of(a), recvs.of(b), cursor,
+                                   duration);
+        sends.of(a).add(start, start + duration);
+        recvs.of(b).add(start, start + duration);
+      }
+      eval.comms.push_back({e->task, a, b, start, start + duration});
+      cursor = start + duration;
+    }
+    arrival = std::max(arrival, cursor);
+  }
+
+  const double exec = platform_.exec_time(graph_.weight(v), proc);
+  eval.start =
+      compute_[static_cast<std::size_t>(proc)].next_fit(arrival, exec);
+  eval.finish = eval.start + exec;
+  return eval;
+}
+
+Evaluation EftEngine::evaluate_best(TaskId v) const {
+  Evaluation best;
+  for (ProcId p = 0; p < platform_.num_processors(); ++p) {
+    Evaluation candidate = evaluate(v, p);
+    if (best.proc < 0 || candidate.finish < best.finish - kTimeEps) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+void EftEngine::commit(const Evaluation& eval) {
+  OP_REQUIRE(eval.task != kInvalidTask && eval.proc >= 0,
+             "cannot commit an empty evaluation");
+  OP_REQUIRE(!scheduled(eval.task),
+             "task " << eval.task << " already scheduled");
+  for (const CommDecision& c : eval.comms) {
+    if (model_ == Model::kOnePort) {
+      send_[static_cast<std::size_t>(c.from)].reserve(c.start, c.finish);
+      recv_[static_cast<std::size_t>(c.to)].reserve(c.start, c.finish);
+    }
+    comms_.push_back({c.src, eval.task, c.from, c.to, c.start, c.finish});
+  }
+  compute_[static_cast<std::size_t>(eval.proc)].reserve(eval.start,
+                                                        eval.finish);
+  placements_[eval.task] = TaskPlacement{eval.proc, eval.start, eval.finish};
+}
+
+Schedule EftEngine::build_schedule() const {
+  Schedule schedule(graph_.num_tasks());
+  for (TaskId v = 0; v < graph_.num_tasks(); ++v) {
+    OP_REQUIRE(placements_[v].placed(), "task " << v << " never scheduled");
+    schedule.place_task(v, placements_[v].proc, placements_[v].start,
+                        placements_[v].finish);
+  }
+  for (const CommPlacement& c : comms_) schedule.add_comm(c);
+  return schedule;
+}
+
+}  // namespace oneport

@@ -1,0 +1,104 @@
+// Earliest-finish-time machinery shared by all list-scheduling heuristics.
+//
+// The engine owns the running state of a schedule under construction:
+// committed task placements plus, per processor, a compute timeline and --
+// in one-port mode -- a send-port and a receive-port timeline.
+//
+// The central operation is evaluate(v, proc): tentatively place task v on
+// `proc`, which entails scheduling one incoming message per predecessor
+// that sits on another processor.  Under the one-port model (§4.3) each
+// message needs a joint free slot on the sender's send port and on
+// `proc`'s receive port; messages reserved earlier *within the same
+// evaluation* are tracked in overlays so they cannot collide with each
+// other.  Under the macro-dataflow model messages simply travel during
+// [finish(u), finish(u) + data*link).  Nothing is mutated until commit().
+//
+// Incoming messages are ordered by predecessor data-ready time (earliest
+// finish first, task id on ties); the paper leaves this order open and
+// "assigns the new communications as early as possible, in a greedy
+// fashion", which this policy implements deterministically.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "platform/routing.hpp"
+#include "sched/schedule.hpp"
+#include "sched/timeline.hpp"
+
+namespace oneport {
+
+/// One tentatively scheduled incoming message (one hop of a routed
+/// transfer; `to` is the candidate processor itself for direct links).
+struct CommDecision {
+  TaskId src = kInvalidTask;
+  ProcId from = -1;
+  ProcId to = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Result of evaluating a (task, processor) pair.
+struct Evaluation {
+  TaskId task = kInvalidTask;
+  ProcId proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+  std::vector<CommDecision> comms;
+};
+
+class EftEngine {
+ public:
+  enum class Model { kMacroDataflow, kOnePort };
+
+  /// `routing` is optional (may be null): when provided, transfers between
+  /// non-adjacent processors become store-and-forward chains along the
+  /// routed path, each hop occupying its own pair of ports (the §4.3
+  /// extension).  The table must outlive the engine.
+  EftEngine(const TaskGraph& graph, const Platform& platform, Model model,
+            const RoutingTable* routing = nullptr);
+
+  /// Tentative placement of `v` on `proc`; requires all predecessors of
+  /// `v` to be committed already.
+  [[nodiscard]] Evaluation evaluate(TaskId v, ProcId proc) const;
+
+  /// Evaluates every processor and returns the one with the earliest
+  /// finish time (smallest processor id on ties).
+  [[nodiscard]] Evaluation evaluate_best(TaskId v) const;
+
+  /// Makes an evaluation permanent: reserves timelines and records the
+  /// placement.
+  void commit(const Evaluation& eval);
+
+  [[nodiscard]] bool scheduled(TaskId v) const {
+    return placements_[v].placed();
+  }
+  [[nodiscard]] const TaskPlacement& placement(TaskId v) const {
+    return placements_[v];
+  }
+  /// True when every predecessor of `v` has been committed.
+  [[nodiscard]] bool ready(TaskId v) const;
+
+  /// Extracts the finished schedule; requires all tasks committed.
+  [[nodiscard]] Schedule build_schedule() const;
+
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] Model model() const noexcept { return model_; }
+
+ private:
+  const TaskGraph& graph_;
+  const Platform& platform_;
+  Model model_;
+  const RoutingTable* routing_;
+  std::vector<TaskPlacement> placements_;
+  std::vector<CommPlacement> comms_;
+  std::vector<Timeline> compute_;  // per processor
+  std::vector<Timeline> send_;     // per processor (one-port only)
+  std::vector<Timeline> recv_;     // per processor (one-port only)
+};
+
+}  // namespace oneport

@@ -1,0 +1,49 @@
+#include "core/heft.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/priorities.hpp"
+#include "util/error.hpp"
+
+namespace oneport {
+
+Schedule heft(const TaskGraph& graph, const Platform& platform,
+              const HeftOptions& options) {
+  OP_REQUIRE(graph.finalized(), "graph must be finalized");
+  const std::vector<double> bl = averaged_bottom_levels(graph, platform);
+  EftEngine engine(graph, platform, options.model, options.routing);
+
+  // Ready list kept sorted by priority (highest bottom level first).  A
+  // sorted vector beats a heap here: insertions are rare relative to the
+  // scans the engine performs, and determinism is trivial to audit.
+  const PriorityOrder higher_priority{&bl};
+  std::vector<TaskId> ready;
+  std::vector<std::size_t> waiting(graph.num_tasks());
+  for (TaskId v = 0; v < graph.num_tasks(); ++v) {
+    waiting[v] = graph.in_degree(v);
+    if (waiting[v] == 0) ready.push_back(v);
+  }
+  std::sort(ready.begin(), ready.end(), higher_priority);
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const TaskId v = ready.front();
+    ready.erase(ready.begin());
+    engine.commit(engine.evaluate_best(v));
+    ++scheduled;
+    for (const EdgeRef& e : graph.successors(v)) {
+      if (--waiting[e.task] == 0) {
+        const auto pos = std::lower_bound(ready.begin(), ready.end(), e.task,
+                                          higher_priority);
+        ready.insert(pos, e.task);
+      }
+    }
+  }
+  OP_ASSERT(scheduled == graph.num_tasks(),
+            "HEFT scheduled " << scheduled << " of " << graph.num_tasks()
+                              << " tasks");
+  return engine.build_schedule();
+}
+
+}  // namespace oneport

@@ -1,0 +1,29 @@
+// HEFT -- Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu) --
+// for both communication models.
+//
+// Macro-dataflow HEFT (§4.1): rank tasks by averaged bottom level; at each
+// step pick the ready task of highest priority and place it on the
+// processor minimizing its finish time, with insertion-based gap search.
+//
+// One-port HEFT (§4.3): identical control flow, but evaluating a candidate
+// processor also greedily reserves a send-port/receive-port slot for every
+// incoming message, so the chosen finish time accounts for communication
+// contention.
+#pragma once
+
+#include "core/eft_engine.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport {
+
+struct HeftOptions {
+  EftEngine::Model model = EftEngine::Model::kOnePort;
+  /// Optional routing table for sparse networks (must outlive the call).
+  const RoutingTable* routing = nullptr;
+};
+
+/// Runs HEFT and returns a complete schedule.
+[[nodiscard]] Schedule heft(const TaskGraph& graph, const Platform& platform,
+                            const HeftOptions& options = {});
+
+}  // namespace oneport

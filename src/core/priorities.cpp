@@ -1,0 +1,19 @@
+#include "core/priorities.hpp"
+
+#include "graph/graph_algorithms.hpp"
+
+namespace oneport {
+
+std::vector<double> averaged_bottom_levels(const TaskGraph& graph,
+                                           const Platform& platform) {
+  return bottom_levels(graph, platform.harmonic_mean_cycle_time(),
+                       platform.harmonic_mean_link());
+}
+
+std::vector<double> averaged_top_levels(const TaskGraph& graph,
+                                        const Platform& platform) {
+  return top_levels(graph, platform.harmonic_mean_cycle_time(),
+                    platform.harmonic_mean_link());
+}
+
+}  // namespace oneport

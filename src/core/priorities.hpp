@@ -1,0 +1,40 @@
+// Task priorities for list scheduling on heterogeneous platforms (§4.1).
+//
+// HEFT and ILHA both rank tasks by *bottom level*: the length of the
+// longest path to an exit node.  With different-speed processors the paper
+// averages costs: one weight unit counts as the harmonic mean of the cycle
+// times, one data unit as the harmonic mean of the off-diagonal link
+// entries.  Communications are charged on every edge (conservatively, as
+// if endpoints never co-locate).
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace oneport {
+
+/// Averaged bottom levels per §4.1.
+[[nodiscard]] std::vector<double> averaged_bottom_levels(
+    const TaskGraph& graph, const Platform& platform);
+
+/// Averaged top levels (used by CPOP's upward+downward rank).
+[[nodiscard]] std::vector<double> averaged_top_levels(const TaskGraph& graph,
+                                                      const Platform& platform);
+
+/// Deterministic priority comparison: higher bottom level first, smaller
+/// task id on ties (the tie-breaking rule spelled out for the paper's toy
+/// example).
+struct PriorityOrder {
+  const std::vector<double>* bottom_level;
+
+  [[nodiscard]] bool operator()(TaskId a, TaskId b) const {
+    const double la = (*bottom_level)[a];
+    const double lb = (*bottom_level)[b];
+    if (la != lb) return la > lb;
+    return a < b;
+  }
+};
+
+}  // namespace oneport

@@ -1,0 +1,87 @@
+#include "core/registry.hpp"
+
+#include "core/cpop.hpp"
+#include "core/gdl.hpp"
+#include "core/heft.hpp"
+#include "core/ilha.hpp"
+#include "core/minmin.hpp"
+#include "util/error.hpp"
+
+namespace oneport {
+
+std::vector<SchedulerEntry> builtin_schedulers(int ilha_chunk_size) {
+  using Model = EftEngine::Model;
+  std::vector<SchedulerEntry> entries;
+  entries.push_back(
+      {"heft-macro", "HEFT under the macro-dataflow model (unlimited ports)",
+       [](const TaskGraph& g, const Platform& p) {
+         return heft(g, p, {.model = Model::kMacroDataflow});
+       }});
+  entries.push_back(
+      {"heft-oneport", "HEFT adapted to the bi-directional one-port model",
+       [](const TaskGraph& g, const Platform& p) {
+         return heft(g, p, {.model = Model::kOnePort});
+       }});
+  entries.push_back(
+      {"ilha-macro", "ILHA under the macro-dataflow model",
+       [ilha_chunk_size](const TaskGraph& g, const Platform& p) {
+         return ilha(g, p, {.model = Model::kMacroDataflow,
+                            .chunk_size = ilha_chunk_size});
+       }});
+  entries.push_back(
+      {"ilha-oneport", "ILHA adapted to the bi-directional one-port model",
+       [ilha_chunk_size](const TaskGraph& g, const Platform& p) {
+         return ilha(g, p, {.model = Model::kOnePort,
+                            .chunk_size = ilha_chunk_size});
+       }});
+  entries.push_back(
+      {"minmin-macro", "min-min batch matching, macro-dataflow model",
+       [](const TaskGraph& g, const Platform& p) {
+         return min_min(g, p, {.model = Model::kMacroDataflow});
+       }});
+  entries.push_back(
+      {"minmin-oneport", "min-min batch matching, one-port model",
+       [](const TaskGraph& g, const Platform& p) {
+         return min_min(g, p, {.model = Model::kOnePort});
+       }});
+  entries.push_back(
+      {"maxmin-oneport", "max-min batch matching, one-port model",
+       [](const TaskGraph& g, const Platform& p) {
+         return min_min(g, p, {.model = Model::kOnePort, .max_min = true});
+       }});
+  entries.push_back(
+      {"gdl-macro", "Generalized Dynamic Level (Sih-Lee), macro model",
+       [](const TaskGraph& g, const Platform& p) {
+         return gdl(g, p, {.model = Model::kMacroDataflow});
+       }});
+  entries.push_back(
+      {"gdl-oneport", "Generalized Dynamic Level (Sih-Lee), one-port model",
+       [](const TaskGraph& g, const Platform& p) {
+         return gdl(g, p, {.model = Model::kOnePort});
+       }});
+  entries.push_back(
+      {"cpop-macro", "CPOP baseline under the macro-dataflow model",
+       [](const TaskGraph& g, const Platform& p) {
+         return cpop(g, p, {.model = Model::kMacroDataflow});
+       }});
+  entries.push_back(
+      {"cpop-oneport", "CPOP baseline adapted to the one-port model",
+       [](const TaskGraph& g, const Platform& p) {
+         return cpop(g, p, {.model = Model::kOnePort});
+       }});
+  return entries;
+}
+
+SchedulerEntry find_scheduler(const std::string& name, int ilha_chunk_size) {
+  std::vector<SchedulerEntry> entries = builtin_schedulers(ilha_chunk_size);
+  std::string known;
+  for (auto& entry : entries) {
+    if (entry.name == name) return std::move(entry);
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw std::invalid_argument("unknown scheduler '" + name +
+                              "'; known: " + known);
+}
+
+}  // namespace oneport

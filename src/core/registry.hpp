@@ -1,0 +1,34 @@
+// Name-based scheduler registry so that examples and benchmark harnesses
+// can select heuristics from the command line.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport {
+
+using SchedulerFn =
+    std::function<Schedule(const TaskGraph&, const Platform&)>;
+
+struct SchedulerEntry {
+  std::string name;         ///< e.g. "ilha-oneport"
+  std::string description;  ///< one-line human description
+  SchedulerFn run;
+};
+
+/// All built-in schedulers.  `ilha_chunk_size` parameterizes the two ILHA
+/// entries (the paper tunes B per testbed).
+[[nodiscard]] std::vector<SchedulerEntry> builtin_schedulers(
+    int ilha_chunk_size = 38);
+
+/// Looks a scheduler up by name; throws std::invalid_argument with the
+/// list of known names when absent.
+[[nodiscard]] SchedulerEntry find_scheduler(const std::string& name,
+                                            int ilha_chunk_size = 38);
+
+}  // namespace oneport

@@ -1,0 +1,115 @@
+#include "exact/fork_optimal.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "testbeds/testbeds.hpp"
+#include "util/error.hpp"
+
+namespace oneport::exact {
+
+TaskGraph fork_instance_graph(const ForkInstance& instance) {
+  return testbeds::make_fork(instance.parent_weight, instance.child_weights,
+                             instance.child_data);
+}
+
+ForkOptimum solve_fork_one_port_optimal(const ForkInstance& instance) {
+  const std::size_t n = instance.child_weights.size();
+  OP_REQUIRE(n == instance.child_data.size(), "weights/data arity mismatch");
+  OP_REQUIRE(n >= 1 && n <= 24, "subset enumeration supports 1..24 children");
+  OP_REQUIRE(instance.cycle_time > 0.0 && instance.link >= 0.0,
+             "invalid platform parameters");
+  const double t = instance.cycle_time;
+  const double l = instance.link;
+
+  // Children sorted by decreasing weight: the optimal send order for any
+  // remote set is this order restricted to the set.
+  std::vector<std::size_t> by_weight(n);
+  std::iota(by_weight.begin(), by_weight.end(), std::size_t{0});
+  std::sort(by_weight.begin(), by_weight.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (instance.child_weights[a] != instance.child_weights[b])
+                return instance.child_weights[a] > instance.child_weights[b];
+              return a < b;
+            });
+
+  const double parent_finish = instance.parent_weight * t;
+  ForkOptimum best;
+  best.makespan = -1.0;
+
+  // Bit b of `mask` set <=> by_weight[b] stays local on P0.
+  const std::size_t num_masks = std::size_t{1} << n;
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    double local_work = 0.0;
+    double makespan = parent_finish;
+    double send_cursor = parent_finish;
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::size_t child = by_weight[b];
+      if (mask & (std::size_t{1} << b)) {
+        local_work += instance.child_weights[child] * t;
+      } else {
+        send_cursor += instance.child_data[child] * l;
+        makespan = std::max(makespan,
+                            send_cursor + instance.child_weights[child] * t);
+      }
+    }
+    makespan = std::max(makespan, parent_finish + local_work);
+    if (best.makespan < 0.0 || makespan < best.makespan - 1e-12) {
+      best.makespan = makespan;
+      best.local_children.clear();
+      best.send_order.clear();
+      for (std::size_t b = 0; b < n; ++b) {
+        const std::size_t child = by_weight[b];
+        if (mask & (std::size_t{1} << b)) {
+          best.local_children.push_back(child);
+        } else {
+          best.send_order.push_back(child);
+        }
+      }
+    }
+  }
+  std::sort(best.local_children.begin(), best.local_children.end());
+  return best;
+}
+
+RealizedFork realize_fork_schedule(const ForkInstance& instance,
+                                   const ForkOptimum& optimum) {
+  const std::size_t n = instance.child_weights.size();
+  OP_REQUIRE(optimum.local_children.size() + optimum.send_order.size() == n,
+             "optimum does not cover all children");
+  const double t = instance.cycle_time;
+  const double l = instance.link;
+  const int procs = 1 + static_cast<int>(optimum.send_order.size());
+
+  RealizedFork out{
+      fork_instance_graph(instance),
+      make_homogeneous_platform(std::max(procs, 2), instance.link, t),
+      Schedule(n + 1)};
+
+  const double parent_finish = instance.parent_weight * t;
+  out.schedule.place_task(0, 0, 0.0, parent_finish);
+
+  double local_cursor = parent_finish;
+  for (const std::size_t child : optimum.local_children) {
+    const double w = instance.child_weights[child] * t;
+    out.schedule.place_task(static_cast<TaskId>(child + 1), 0, local_cursor,
+                            local_cursor + w);
+    local_cursor += w;
+  }
+
+  double send_cursor = parent_finish;
+  ProcId proc = 1;
+  for (const std::size_t child : optimum.send_order) {
+    const double d = instance.child_data[child] * l;
+    out.schedule.add_comm({0, static_cast<TaskId>(child + 1), 0, proc,
+                           send_cursor, send_cursor + d});
+    send_cursor += d;
+    const double w = instance.child_weights[child] * t;
+    out.schedule.place_task(static_cast<TaskId>(child + 1), proc, send_cursor,
+                            send_cursor + w);
+    ++proc;
+  }
+  return out;
+}
+
+}  // namespace oneport::exact

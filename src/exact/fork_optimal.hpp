@@ -1,0 +1,64 @@
+// Exact one-port scheduling of fork graphs on an unlimited pool of
+// same-speed processors -- the setting of the paper's Theorem 1.
+//
+// Observations that make exhaustive search tractable:
+//   * with unlimited identical processors, giving each remote child its
+//     own processor (weakly) dominates co-locating remote children, so the
+//     only real decision is the subset A of children co-located with the
+//     parent on P0;
+//   * the parent's send port serializes the remote messages; for a fixed
+//     remote set, sending in order of *decreasing child weight* minimizes
+//     the latest remote completion (exchange argument on
+//     max_j(prefix(d) + w_j));
+//   * P0 computes the parent then its local children back-to-back while
+//     its send port streams the messages (computation/communication
+//     overlap).
+// The solver therefore enumerates the 2^N subsets, which is exact -- and
+// exponential, as Theorem 1 says it must be (unless P = NP).
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport::exact {
+
+struct ForkInstance {
+  double parent_weight = 0.0;
+  std::vector<double> child_weights;
+  std::vector<double> child_data;
+  double cycle_time = 1.0;  ///< same-speed processors
+  double link = 1.0;        ///< fully homogeneous network
+};
+
+struct ForkOptimum {
+  double makespan = 0.0;
+  /// children co-located with the parent on processor 0 (indices into
+  /// child_weights)
+  std::vector<std::size_t> local_children;
+  /// remote children in the order their messages leave P0
+  std::vector<std::size_t> send_order;
+};
+
+/// Exhaustive optimum; `child_weights.size()` is capped at 24 (16M
+/// subsets) -- beyond that the instance is declared out of reach and the
+/// solver throws std::invalid_argument.
+[[nodiscard]] ForkOptimum solve_fork_one_port_optimal(
+    const ForkInstance& instance);
+
+/// A concrete, validator-ready realization of a fork optimum: one
+/// processor per remote child plus P0.
+struct RealizedFork {
+  TaskGraph graph;    ///< parent = task 0, child i = task i+1
+  Platform platform;  ///< 1 + #remote processors
+  Schedule schedule;
+};
+[[nodiscard]] RealizedFork realize_fork_schedule(const ForkInstance& instance,
+                                                 const ForkOptimum& optimum);
+
+/// The TaskGraph of an instance alone (parent = task 0, child i = i+1).
+[[nodiscard]] TaskGraph fork_instance_graph(const ForkInstance& instance);
+
+}  // namespace oneport::exact

@@ -1,0 +1,80 @@
+// Constructions behind the paper's two NP-completeness results.
+//
+// Theorem 1 (FORK-SCHED): from a 2-PARTITION instance A = {a_1..a_n},
+// build a fork graph of N = n+3 children on unlimited same-speed
+// processors with a time bound T such that a schedule of makespan <= T
+// exists iff A can be partitioned into equal halves.
+//
+// Theorem 2 (COMM-SCHED, Appendix): from the same A, build a bipartite
+// instance whose *allocation is already fixed* -- only the messages remain
+// to be scheduled -- with time bound T = S; again feasibility iff the
+// 2-PARTITION is solvable.  This is the result motivating why ILHA's
+// optional third step (rescheduling communications for a fixed
+// allocation) must be heuristic.
+//
+// Both builders come with proof-following schedule constructors (turning a
+// 2-PARTITION certificate into a schedule meeting the bound) and, for
+// Theorem 2, an exhaustive solver over the n! send orders of P0 so that
+// small no-instances can be checked to exceed the bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exact/fork_optimal.hpp"
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport::exact {
+
+// ----------------------------------------------------------------- Thm 1
+
+struct ForkSchedInstance {
+  ForkInstance fork;    ///< w_0 = 0; children per the construction
+  double time_bound;    ///< T = (1/2) sum w_i + 2 w_min
+  double w_min;         ///< the common weight of the last three children
+};
+
+/// The Theorem-1 construction.  `values` are the 2-PARTITION integers.
+[[nodiscard]] ForkSchedInstance make_fork_sched_instance(
+    const std::vector<std::int64_t>& values);
+
+/// Turns a 2-PARTITION certificate (indices of one half, 0-based into
+/// `values`) into a schedule matching the bound, exactly as in the proof:
+/// P0 runs v0, the A1 children and children n+1, n+2; everything else goes
+/// to a distinct processor; messages leave P0 by increasing child index.
+[[nodiscard]] RealizedFork realize_theorem1_schedule(
+    const std::vector<std::int64_t>& values,
+    const std::vector<std::size_t>& half_indices);
+
+// ----------------------------------------------------------------- Thm 2
+
+struct CommSchedInstance {
+  TaskGraph graph;                ///< 3n+1 zero-weight tasks
+  Platform platform;              ///< 2n+1 same-speed processors
+  std::vector<ProcId> allocation; ///< fixed task -> processor map
+  double time_bound;              ///< T = S
+};
+
+/// The Theorem-2 construction (see Figure 13 of the paper): a fork from
+/// v0 to v_1..v_n with data a_i, plus n independent pairs
+/// v_{2n+i} -> v_{n+i} with data S, allocated so that P_i hosts both v_i
+/// and v_{n+i}.
+[[nodiscard]] CommSchedInstance make_comm_sched_instance(
+    const std::vector<std::int64_t>& values);
+
+/// Proof-following schedule for a yes-instance certificate.
+[[nodiscard]] Schedule realize_theorem2_schedule(
+    const CommSchedInstance& instance,
+    const std::vector<std::int64_t>& values,
+    const std::vector<std::size_t>& half_indices);
+
+/// Exhaustive optimum over all n! orders in which P0 can emit its
+/// messages (each P_i places its pair message greedily around the fork
+/// message).  n is capped at 9.
+[[nodiscard]] double solve_comm_sched_optimal(
+    const CommSchedInstance& instance,
+    const std::vector<std::int64_t>& values);
+
+}  // namespace oneport::exact

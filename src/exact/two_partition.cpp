@@ -1,0 +1,41 @@
+#include "exact/two_partition.hpp"
+
+#include "util/error.hpp"
+
+namespace oneport::exact {
+
+std::optional<std::vector<std::size_t>> two_partition(
+    const std::vector<std::int64_t>& values) {
+  std::int64_t total = 0;
+  for (const std::int64_t a : values) {
+    OP_REQUIRE(a > 0, "2-PARTITION values must be positive");
+    total += a;
+  }
+  if (values.empty() || total % 2 != 0) return std::nullopt;
+  const auto target = static_cast<std::size_t>(total / 2);
+
+  // reach[s] = index of the last value used to first reach sum s (+1), or
+  // 0 when unreachable; lets us backtrack the chosen subset.
+  std::vector<std::size_t> reach(target + 1, 0);
+  reach[0] = values.size() + 1;  // sentinel: sum 0 reachable with no items
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto a = static_cast<std::size_t>(values[i]);
+    if (a > target) return std::nullopt;  // single value exceeds the half-sum
+    for (std::size_t s = target; s + 1 > a; --s) {
+      if (reach[s - a] != 0 && reach[s] == 0) reach[s] = i + 1;
+    }
+  }
+  if (reach[target] == 0) return std::nullopt;
+
+  std::vector<std::size_t> subset;
+  std::size_t s = target;
+  while (s > 0) {
+    const std::size_t i = reach[s] - 1;
+    OP_ASSERT(i < values.size(), "backtrack escaped the table");
+    subset.push_back(i);
+    s -= static_cast<std::size_t>(values[i]);
+  }
+  return subset;
+}
+
+}  // namespace oneport::exact

@@ -1,0 +1,18 @@
+// Pseudo-polynomial 2-PARTITION solver -- the NP-complete problem both of
+// the paper's reductions start from: partition {a_1..a_n} into two subsets
+// of equal sum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace oneport::exact {
+
+/// Returns the indices of one half when {a_i} can be split into two
+/// equal-sum subsets, std::nullopt otherwise.  Classic subset-sum dynamic
+/// program: O(n * S) time and space with S = sum/2.
+[[nodiscard]] std::optional<std::vector<std::size_t>> two_partition(
+    const std::vector<std::int64_t>& values);
+
+}  // namespace oneport::exact

@@ -1,0 +1,42 @@
+#include "graph/dot_export.hpp"
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace oneport {
+
+void write_dot(std::ostream& os, const TaskGraph& g,
+               const DotOptions& options) {
+  OP_REQUIRE(g.finalized(), "graph must be finalized");
+  const std::size_t shown = std::min(g.num_tasks(), options.max_tasks);
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=circle];\n";
+  if (shown < g.num_tasks()) {
+    os << "  // truncated: showing " << shown << " of " << g.num_tasks()
+       << " tasks\n";
+  }
+  for (TaskId v = 0; v < shown; ++v) {
+    os << "  n" << v << " [label=\"";
+    if (g.name(v).empty()) {
+      os << 'v' << v;
+    } else {
+      os << g.name(v);
+    }
+    if (options.show_weights) os << "\\nw=" << csv::format_number(g.weight(v));
+    os << "\"];\n";
+  }
+  for (TaskId v = 0; v < shown; ++v) {
+    for (const EdgeRef& e : g.successors(v)) {
+      if (e.task >= shown) continue;
+      os << "  n" << v << " -> n" << e.task;
+      if (options.show_weights)
+        os << " [label=\"" << csv::format_number(e.data) << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace oneport

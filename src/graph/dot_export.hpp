@@ -1,0 +1,26 @@
+// Graphviz DOT export for task graphs -- handy for debugging testbed
+// generators and for documentation figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace oneport {
+
+struct DotOptions {
+  /// Graph name emitted in the digraph header.
+  std::string graph_name = "taskgraph";
+  /// Include w(v) in node labels and data(u,v) on edge labels.
+  bool show_weights = true;
+  /// Cap on emitted nodes; larger graphs are truncated with a warning
+  /// comment (DOT rendering of 10^5-node graphs is not useful).
+  std::size_t max_tasks = 2000;
+};
+
+/// Writes `g` in Graphviz DOT syntax to `os`.
+void write_dot(std::ostream& os, const TaskGraph& g,
+               const DotOptions& options = {});
+
+}  // namespace oneport

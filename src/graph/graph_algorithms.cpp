@@ -1,0 +1,98 @@
+#include "graph/graph_algorithms.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+std::vector<double> bottom_levels(const TaskGraph& g, double comp_factor,
+                                  double comm_factor) {
+  OP_REQUIRE(g.finalized(), "graph must be finalized");
+  const auto order = g.topological_order();
+  std::vector<double> bl(g.num_tasks(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    double best = 0.0;
+    for (const EdgeRef& e : g.successors(v)) {
+      best = std::max(best, e.data * comm_factor + bl[e.task]);
+    }
+    bl[v] = g.weight(v) * comp_factor + best;
+  }
+  return bl;
+}
+
+std::vector<double> top_levels(const TaskGraph& g, double comp_factor,
+                               double comm_factor) {
+  OP_REQUIRE(g.finalized(), "graph must be finalized");
+  std::vector<double> tl(g.num_tasks(), 0.0);
+  for (const TaskId v : g.topological_order()) {
+    double best = 0.0;
+    for (const EdgeRef& e : g.predecessors(v)) {
+      best = std::max(best, tl[e.task] + g.weight(e.task) * comp_factor +
+                                e.data * comm_factor);
+    }
+    tl[v] = best;
+  }
+  return tl;
+}
+
+std::vector<int> iso_levels(const TaskGraph& g) {
+  OP_REQUIRE(g.finalized(), "graph must be finalized");
+  std::vector<int> level(g.num_tasks(), 0);
+  for (const TaskId v : g.topological_order()) {
+    int best = -1;
+    for (const EdgeRef& e : g.predecessors(v)) {
+      best = std::max(best, level[e.task]);
+    }
+    level[v] = best + 1;
+  }
+  return level;
+}
+
+CriticalPath critical_path(const TaskGraph& g, double comp_factor,
+                           double comm_factor) {
+  OP_REQUIRE(g.finalized(), "graph must be finalized");
+  const std::vector<double> bl = bottom_levels(g, comp_factor, comm_factor);
+  CriticalPath cp;
+  if (g.num_tasks() == 0) return cp;
+
+  // Start from the entry task with the largest bottom level (smallest id on
+  // ties), then repeatedly follow the successor that realizes the level.
+  TaskId current = kInvalidTask;
+  for (const TaskId v : g.entry_tasks()) {
+    if (current == kInvalidTask || bl[v] > bl[current]) current = v;
+  }
+  cp.length = bl[current];
+  while (true) {
+    cp.tasks.push_back(current);
+    const double remaining = bl[current] - g.weight(current) * comp_factor;
+    TaskId next = kInvalidTask;
+    for (const EdgeRef& e : g.successors(current)) {
+      const double via = e.data * comm_factor + bl[e.task];
+      // The successor lying on the longest path satisfies via == remaining
+      // up to floating-point noise; prefer the smallest id among them.
+      if (via >= remaining - 1e-9 * (1.0 + std::abs(remaining))) {
+        if (next == kInvalidTask || e.task < next) next = e.task;
+      }
+    }
+    if (next == kInvalidTask) break;
+    current = next;
+  }
+  return cp;
+}
+
+std::size_t max_level_width(const TaskGraph& g) {
+  const std::vector<int> level = iso_levels(g);
+  std::vector<std::size_t> count;
+  for (const int l : level) {
+    if (static_cast<std::size_t>(l) >= count.size())
+      count.resize(static_cast<std::size_t>(l) + 1, 0);
+    ++count[static_cast<std::size_t>(l)];
+  }
+  std::size_t best = 0;
+  for (const std::size_t c : count) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace oneport

@@ -1,0 +1,52 @@
+// Classic DAG computations used by the scheduling heuristics.
+//
+// Bottom/top levels are parameterized by two scalar factors instead of a
+// Platform so that the graph layer stays platform-agnostic:
+//   * comp_factor -- multiplies task weights.  For heterogeneous platforms
+//     the paper (§4.1) uses the harmonic mean of the cycle-times,
+//     H(t) = p / sum(1/t_i).
+//   * comm_factor -- multiplies edge data volumes.  The paper uses the
+//     harmonic mean of the off-diagonal link entries.
+// All communications are charged, even when endpoints might later be
+// co-located (the paper's conservative choice).
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace oneport {
+
+/// bottom_level(v) = time of the longest path from v to any exit node,
+/// counting v's own (averaged) execution time and every (averaged)
+/// communication along the path.  Higher = more urgent.
+[[nodiscard]] std::vector<double> bottom_levels(const TaskGraph& g,
+                                                double comp_factor,
+                                                double comm_factor);
+
+/// top_level(v) = longest path length from any entry node to v, excluding
+/// v's own execution time.
+[[nodiscard]] std::vector<double> top_levels(const TaskGraph& g,
+                                             double comp_factor,
+                                             double comm_factor);
+
+/// Iso-levels as used by ILHA's graph splitting (§4.2): entry tasks are at
+/// level 0 and level(v) = 1 + max over predecessors.  Tasks sharing a level
+/// are pairwise independent.
+[[nodiscard]] std::vector<int> iso_levels(const TaskGraph& g);
+
+/// Tasks of the longest (averaged) path in the graph, entry to exit, plus
+/// its length.  Deterministic: ties resolved toward smaller task ids.
+struct CriticalPath {
+  std::vector<TaskId> tasks;
+  double length = 0.0;
+};
+[[nodiscard]] CriticalPath critical_path(const TaskGraph& g,
+                                         double comp_factor,
+                                         double comm_factor);
+
+/// Maximum number of pairwise-independent tasks in any single iso-level
+/// (a cheap lower-proxy for graph width).
+[[nodiscard]] std::size_t max_level_width(const TaskGraph& g);
+
+}  // namespace oneport

@@ -1,0 +1,92 @@
+// Directed acyclic task graph: the application model of the paper (§2.1).
+//
+// A TaskGraph is a vertex-weighted, edge-weighted DAG G = (V, E, w, data):
+//   * w(v)       -- computation cost of task v (abstract cycles); the time
+//                   to run v on processor P_i is w(v) * t_i.
+//   * data(u,v)  -- number of data items shipped from u to v; the transfer
+//                   time between P_q and P_r is data(u,v) * link(q,r).
+//
+// The graph is built incrementally (add_task / add_edge) and then
+// finalize()d, which checks acyclicity, computes a topological order and
+// freezes the structure.  All algorithms require a finalized graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oneport {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// One endpoint of an edge as seen from a vertex: the neighbor task plus
+/// the communication volume carried by the edge.
+struct EdgeRef {
+  TaskId task;
+  double data;
+};
+
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Creates a task with computation cost `weight` (>= 0) and an optional
+  /// display name; returns its id (ids are dense, starting at 0).
+  TaskId add_task(double weight, std::string name = {});
+
+  /// Adds the precedence edge src -> dst carrying `data` (>= 0) items.
+  /// Duplicate edges and self-loops are rejected.
+  void add_edge(TaskId src, TaskId dst, double data);
+
+  /// Freezes the graph: verifies acyclicity and computes the topological
+  /// order returned by topological_order().  Throws std::invalid_argument
+  /// if the graph has a cycle.  Idempotent.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] double weight(TaskId v) const;
+  [[nodiscard]] const std::string& name(TaskId v) const;
+  /// Sum of all task weights (the total work W of the application).
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+
+  [[nodiscard]] std::span<const EdgeRef> successors(TaskId v) const;
+  [[nodiscard]] std::span<const EdgeRef> predecessors(TaskId v) const;
+  [[nodiscard]] std::size_t in_degree(TaskId v) const {
+    return predecessors(v).size();
+  }
+  [[nodiscard]] std::size_t out_degree(TaskId v) const {
+    return successors(v).size();
+  }
+
+  /// Communication volume on edge src->dst; throws if the edge is absent.
+  [[nodiscard]] double edge_data(TaskId src, TaskId dst) const;
+  [[nodiscard]] bool has_edge(TaskId src, TaskId dst) const;
+
+  /// Topological order (requires finalized()).
+  [[nodiscard]] std::span<const TaskId> topological_order() const;
+
+  /// Tasks with no predecessors / successors (requires finalized()).
+  [[nodiscard]] std::vector<TaskId> entry_tasks() const;
+  [[nodiscard]] std::vector<TaskId> exit_tasks() const;
+
+ private:
+  void check_task(TaskId v) const;
+
+  std::vector<double> weights_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<EdgeRef>> succ_;
+  std::vector<std::vector<EdgeRef>> pred_;
+  std::vector<TaskId> topo_;
+  std::size_t num_edges_ = 0;
+  double total_weight_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace oneport

@@ -1,0 +1,94 @@
+#include "platform/load_balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+std::vector<double> balanced_fractions(const Platform& platform) {
+  const double speed = platform.aggregate_speed();
+  std::vector<double> c(static_cast<std::size_t>(platform.num_processors()));
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    c[static_cast<std::size_t>(p)] = (1.0 / platform.cycle_time(p)) / speed;
+  }
+  return c;
+}
+
+std::vector<int> optimal_distribution(const Platform& platform, int n) {
+  OP_REQUIRE(n >= 0, "task count must be non-negative");
+  const int p = platform.num_processors();
+  const std::vector<double> frac = balanced_fractions(platform);
+  std::vector<int> counts(static_cast<std::size_t>(p), 0);
+
+  // Step 1 of the paper's algorithm: floors of the ideal shares.
+  int assigned = 0;
+  for (int i = 0; i < p; ++i) {
+    counts[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::floor(frac[static_cast<std::size_t>(i)] * n));
+    assigned += counts[static_cast<std::size_t>(i)];
+  }
+  OP_ASSERT(assigned <= n, "floor shares exceed n");
+
+  // Step 2: hand out the remaining tasks one by one to the processor that
+  // finishes earliest after taking one more task (ties -> smaller index).
+  for (; assigned < n; ++assigned) {
+    int best = 0;
+    double best_time = platform.cycle_time(0) * (counts[0] + 1);
+    for (int i = 1; i < p; ++i) {
+      const double time =
+          platform.cycle_time(i) * (counts[static_cast<std::size_t>(i)] + 1);
+      if (time < best_time) {
+        best = i;
+        best_time = time;
+      }
+    }
+    ++counts[static_cast<std::size_t>(best)];
+  }
+  return counts;
+}
+
+double distribution_makespan(const Platform& platform,
+                             const std::vector<int>& counts) {
+  OP_REQUIRE(counts.size() ==
+                 static_cast<std::size_t>(platform.num_processors()),
+             "counts arity mismatch");
+  double makespan = 0.0;
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    makespan = std::max(makespan, platform.cycle_time(p) *
+                                      counts[static_cast<std::size_t>(p)]);
+  }
+  return makespan;
+}
+
+namespace {
+
+std::int64_t to_integer_cycle_time(double t) {
+  const double rounded = std::round(t);
+  OP_REQUIRE(std::abs(t - rounded) < 1e-9 && rounded >= 1.0,
+             "perfect_balance_chunk requires integer cycle times, got " << t);
+  return static_cast<std::int64_t>(rounded);
+}
+
+}  // namespace
+
+std::int64_t perfect_balance_chunk(const Platform& platform) {
+  std::int64_t l = 1;
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    l = std::lcm(l, to_integer_cycle_time(platform.cycle_time(p)));
+  }
+  std::int64_t chunk = 0;
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    chunk += l / to_integer_cycle_time(platform.cycle_time(p));
+  }
+  return chunk;
+}
+
+double speedup_upper_bound(const Platform& platform) {
+  return platform.cycle_time(platform.fastest_processor()) *
+         platform.aggregate_speed();
+}
+
+}  // namespace oneport

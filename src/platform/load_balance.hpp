@@ -1,0 +1,49 @@
+// Static load-balancing across different-speed processors (§4.1-4.2).
+//
+// Given processors of cycle-times t_1..t_p, a perfectly divisible workload
+// W is balanced when processor i receives the fraction
+//     c_i = (1/t_i) / sum_j (1/t_j)
+// so that every processor finishes at W / sum_j(1/t_j).
+//
+// Tasks being indivisible, fractional shares must be rounded; the paper's
+// "Optimal distribution" algorithm (§4.2, from Boudet-Rastello-Robert)
+// starts from floors and greedily hands each leftover task to the
+// processor whose finish time after the extra task is smallest.  The
+// result minimizes max_i t_i * n_i over all integer distributions summing
+// to n (for equal-size tasks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace oneport {
+
+/// Ideal fractional shares c_i (sum to 1).
+[[nodiscard]] std::vector<double> balanced_fractions(const Platform& platform);
+
+/// The paper's optimal integer distribution of `n` equal-size tasks.
+/// Returns per-processor task counts summing to n; minimizes the parallel
+/// finish time max_i t_i * count_i.
+[[nodiscard]] std::vector<int> optimal_distribution(const Platform& platform,
+                                                    int n);
+
+/// Parallel finish time of a distribution: max_i t_i * count_i.
+[[nodiscard]] double distribution_makespan(const Platform& platform,
+                                           const std::vector<int>& counts);
+
+/// Smallest chunk size that admits a *perfect* balance (every processor
+/// busy for exactly the same time):
+///     M = lcm(t_1..t_p) * sum_i 1/t_i.
+/// Only defined for platforms whose cycle times are (near-)integers; throws
+/// std::invalid_argument otherwise.  For the paper's platform this is
+/// B = 38 (5 procs x 5 tasks + 3 x 3 + 2 x 2, all busy 30 time units).
+[[nodiscard]] std::int64_t perfect_balance_chunk(const Platform& platform);
+
+/// Upper bound on the achievable speedup over the fastest processor,
+/// ignoring communications and dependences (the paper's 7.6 for its
+/// platform): (min_i t_i) * sum_j 1/t_j.
+[[nodiscard]] double speedup_upper_bound(const Platform& platform);
+
+}  // namespace oneport

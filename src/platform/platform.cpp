@@ -1,0 +1,111 @@
+#include "platform/platform.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+namespace {
+
+Matrix<double> uniform_link_matrix(std::size_t p, double value) {
+  Matrix<double> link(p, p, value);
+  for (std::size_t i = 0; i < p; ++i) link(i, i) = 0.0;
+  return link;
+}
+
+}  // namespace
+
+Platform::Platform(std::vector<double> cycle_times, Matrix<double> link)
+    : cycle_times_(std::move(cycle_times)), link_(std::move(link)) {
+  const std::size_t p = cycle_times_.size();
+  OP_REQUIRE(p > 0, "platform needs at least one processor");
+  for (std::size_t i = 0; i < p; ++i) {
+    OP_REQUIRE(cycle_times_[i] > 0.0, "cycle time of P" << i
+                                                        << " must be > 0");
+  }
+  OP_REQUIRE(link_.rows() == p && link_.cols() == p,
+             "link matrix must be " << p << "x" << p);
+  for (std::size_t q = 0; q < p; ++q) {
+    OP_REQUIRE(link_(q, q) == 0.0, "link diagonal must be zero");
+    for (std::size_t r = 0; r < p; ++r) {
+      OP_REQUIRE(link_(q, r) >= 0.0, "link entries must be non-negative");
+    }
+  }
+}
+
+Platform::Platform(std::vector<double> cycle_times, double uniform_link)
+    : Platform(
+          [&cycle_times] { return cycle_times; }(),
+          uniform_link_matrix(cycle_times.size(), uniform_link)) {
+  OP_REQUIRE(uniform_link >= 0.0, "uniform link must be non-negative");
+}
+
+double Platform::cycle_time(ProcId p) const {
+  OP_REQUIRE(p >= 0 && p < num_processors(), "processor id out of range");
+  return cycle_times_[static_cast<std::size_t>(p)];
+}
+
+double Platform::link(ProcId from, ProcId to) const {
+  OP_REQUIRE(from >= 0 && from < num_processors(), "`from` out of range");
+  OP_REQUIRE(to >= 0 && to < num_processors(), "`to` out of range");
+  return link_(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
+}
+
+ProcId Platform::fastest_processor() const {
+  ProcId best = 0;
+  for (ProcId p = 1; p < num_processors(); ++p) {
+    if (cycle_times_[static_cast<std::size_t>(p)] <
+        cycle_times_[static_cast<std::size_t>(best)]) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+double Platform::aggregate_speed() const {
+  double s = 0.0;
+  for (const double t : cycle_times_) s += 1.0 / t;
+  return s;
+}
+
+double Platform::harmonic_mean_cycle_time() const {
+  return static_cast<double>(num_processors()) / aggregate_speed();
+}
+
+double Platform::harmonic_mean_link() const {
+  const int p = num_processors();
+  if (p < 2) return 0.0;
+  double inv_sum = 0.0;
+  std::size_t count = 0;
+  for (ProcId q = 0; q < p; ++q) {
+    for (ProcId r = 0; r < p; ++r) {
+      if (q == r) continue;
+      const double l = link(q, r);
+      // A zero-cost link would make the harmonic mean collapse to zero;
+      // treat it as "free" and skip it, mirroring the diagonal.  Absent
+      // links (+infinity, see platform/routing.hpp) are skipped too.
+      if (l > 0.0 && std::isfinite(l)) {
+        inv_sum += 1.0 / l;
+        ++count;
+      }
+    }
+  }
+  if (count == 0 || inv_sum == 0.0) return 0.0;
+  return static_cast<double>(count) / inv_sum;
+}
+
+Platform make_homogeneous_platform(int p, double link, double cycle_time) {
+  OP_REQUIRE(p > 0, "need at least one processor");
+  return {std::vector<double>(static_cast<std::size_t>(p), cycle_time), link};
+}
+
+Platform make_paper_platform() {
+  std::vector<double> t;
+  t.insert(t.end(), 5, 6.0);
+  t.insert(t.end(), 3, 10.0);
+  t.insert(t.end(), 2, 15.0);
+  return {std::move(t), 1.0};
+}
+
+}  // namespace oneport

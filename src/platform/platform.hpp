@@ -1,0 +1,79 @@
+// Target computing resources: heterogeneous processors + link matrix (§2.1).
+//
+// Each processor P_i has a cycle-time t_i (inverse relative speed): running
+// task v on P_i takes w(v) * t_i time units.  The link matrix gives the
+// per-data-item transfer time between processor pairs; its diagonal is zero
+// (co-located tasks communicate through memory at no cost).
+//
+// The Platform itself is model-agnostic: the *macro-dataflow* and
+// *one-port* rules differ only in how schedulers and validators account for
+// port contention, not in the static resource description.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace oneport {
+
+using ProcId = int;
+
+class Platform {
+ public:
+  /// Fully-connected platform: `cycle_times[i]` is t_i, `link(q,r)` the
+  /// per-item transfer time.  Requires a square link matrix with zero
+  /// diagonal and non-negative entries, and positive cycle times.
+  Platform(std::vector<double> cycle_times, Matrix<double> link);
+
+  /// Convenience: homogeneous link value for all distinct pairs.
+  Platform(std::vector<double> cycle_times, double uniform_link);
+
+  [[nodiscard]] int num_processors() const noexcept {
+    return static_cast<int>(cycle_times_.size());
+  }
+  [[nodiscard]] double cycle_time(ProcId p) const;
+  [[nodiscard]] const std::vector<double>& cycle_times() const noexcept {
+    return cycle_times_;
+  }
+  [[nodiscard]] double link(ProcId from, ProcId to) const;
+
+  /// Execution time of a task of weight w on processor p.
+  [[nodiscard]] double exec_time(double weight, ProcId p) const {
+    return weight * cycle_time(p);
+  }
+  /// Transfer time of `data` items from `from` to `to` (0 if same proc).
+  [[nodiscard]] double comm_time(double data, ProcId from, ProcId to) const {
+    return data * link(from, to);
+  }
+
+  /// Index of (one of) the fastest processors (smallest cycle time,
+  /// smallest index on ties).
+  [[nodiscard]] ProcId fastest_processor() const;
+
+  /// Harmonic mean of cycle times, H(t) = p / sum(1/t_i) -- the averaged
+  /// per-unit-weight execution time used for bottom levels (§4.1).
+  [[nodiscard]] double harmonic_mean_cycle_time() const;
+
+  /// Harmonic mean of the off-diagonal link entries -- the averaged
+  /// per-data-item communication time used for bottom levels (§4.1).
+  /// Returns 0 for single-processor platforms.
+  [[nodiscard]] double harmonic_mean_link() const;
+
+  /// sum(1/t_i): the aggregate speed of the platform; a total weight W of
+  /// perfectly divisible work completes in W / aggregate_speed().
+  [[nodiscard]] double aggregate_speed() const;
+
+ private:
+  std::vector<double> cycle_times_;
+  Matrix<double> link_;
+};
+
+/// `p` identical processors with unit cycle time and uniform link cost.
+[[nodiscard]] Platform make_homogeneous_platform(int p, double link = 1.0,
+                                                 double cycle_time = 1.0);
+
+/// The experimental platform of §5.2: five processors with cycle-time 6,
+/// three with 10, two with 15; homogeneous links of cost 1.
+[[nodiscard]] Platform make_paper_platform();
+
+}  // namespace oneport

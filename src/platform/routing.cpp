@@ -1,0 +1,112 @@
+#include "platform/routing.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+RoutingTable RoutingTable::shortest_paths(const Platform& platform) {
+  const int p = platform.num_processors();
+  const auto n = static_cast<std::size_t>(p);
+  Matrix<double> dist(n, n, kNoLink);
+  Matrix<int> next(n, n, -1);
+  for (int q = 0; q < p; ++q) {
+    dist(static_cast<std::size_t>(q), static_cast<std::size_t>(q)) = 0.0;
+    next(static_cast<std::size_t>(q), static_cast<std::size_t>(q)) = q;
+    for (int r = 0; r < p; ++r) {
+      if (q == r) continue;
+      const double l = platform.link(q, r);
+      if (std::isfinite(l)) {
+        dist(static_cast<std::size_t>(q), static_cast<std::size_t>(r)) = l;
+        next(static_cast<std::size_t>(q), static_cast<std::size_t>(r)) = r;
+      }
+    }
+  }
+  // Floyd-Warshall; strict improvement keeps the smallest-intermediate
+  // route on ties, which makes path() deterministic.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(dist(i, k))) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double via = dist(i, k) + dist(k, j);
+        if (via < dist(i, j) - 1e-12) {
+          dist(i, j) = via;
+          next(i, j) = next(i, k);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      OP_REQUIRE(std::isfinite(dist(i, j)),
+                 "network is disconnected: no route P" << i << " -> P" << j);
+    }
+  }
+  return RoutingTable(p, std::move(dist), std::move(next));
+}
+
+std::vector<ProcId> RoutingTable::path(ProcId from, ProcId to) const {
+  OP_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_,
+             "processor out of range");
+  std::vector<ProcId> out{from};
+  ProcId cur = from;
+  while (cur != to) {
+    cur = next_(static_cast<std::size_t>(cur), static_cast<std::size_t>(to));
+    OP_ASSERT(cur >= 0, "routing table has a hole");
+    OP_ASSERT(out.size() <= static_cast<std::size_t>(p_),
+              "routing loop detected");
+    out.push_back(cur);
+  }
+  return out;
+}
+
+bool RoutingTable::direct(ProcId from, ProcId to) const {
+  OP_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_,
+             "processor out of range");
+  if (from == to) return true;
+  return next_(static_cast<std::size_t>(from), static_cast<std::size_t>(to)) ==
+         to;
+}
+
+double RoutingTable::distance(ProcId from, ProcId to) const {
+  OP_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_,
+             "processor out of range");
+  return dist_(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
+}
+
+RoutedPlatform make_ring_platform(std::vector<double> cycle_times,
+                                  double link) {
+  const auto n = cycle_times.size();
+  OP_REQUIRE(n >= 2, "a ring needs at least two processors");
+  OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  Matrix<double> m(n, n, kNoLink);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 0.0;
+    m(i, (i + 1) % n) = link;
+    m((i + 1) % n, i) = link;
+  }
+  Platform platform(std::move(cycle_times), std::move(m));
+  RoutingTable routing = RoutingTable::shortest_paths(platform);
+  return {std::move(platform), std::move(routing)};
+}
+
+RoutedPlatform make_star_platform(std::vector<double> cycle_times,
+                                  double link) {
+  const auto n = cycle_times.size();
+  OP_REQUIRE(n >= 2, "a star needs at least two processors");
+  OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  Matrix<double> m(n, n, kNoLink);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 0.0;
+    if (i != 0) {
+      m(0, i) = link;
+      m(i, 0) = link;
+    }
+  }
+  Platform platform(std::move(cycle_times), std::move(m));
+  RoutingTable routing = RoutingTable::shortest_paths(platform);
+  return {std::move(platform), std::move(routing)};
+}
+
+}  // namespace oneport

@@ -1,0 +1,69 @@
+// Static routing over sparse interconnects -- the extension sketched in
+// §4.3: "if there is no direct link from P2 to P1, we redo the previous
+// step for all intermediate messages between adjacent processors".
+//
+// A sparse network is a Platform whose link matrix contains
+// +infinity for absent links.  A RoutingTable is computed once
+// (Floyd-Warshall over the per-item link costs, ties toward the
+// lexicographically smallest next hop) and handed to the schedulers;
+// messages between non-adjacent processors become store-and-forward
+// chains of per-hop messages, each occupying the hop sender's send port
+// and the hop receiver's receive port under the one-port rules.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace oneport {
+
+/// Marker for "no direct link" in a Platform's link matrix.
+inline constexpr double kNoLink = std::numeric_limits<double>::infinity();
+
+class RoutingTable {
+ public:
+  /// All-pairs shortest paths over the finite entries of
+  /// `platform.link()`.  Throws std::invalid_argument if some processor
+  /// pair is unreachable.
+  static RoutingTable shortest_paths(const Platform& platform);
+
+  /// Full processor path from `from` to `to`, both endpoints included
+  /// (so path(q, q) == {q} and adjacent pairs give {q, r}).
+  [[nodiscard]] std::vector<ProcId> path(ProcId from, ProcId to) const;
+
+  /// True when the direct link is the routed path (single hop).
+  [[nodiscard]] bool direct(ProcId from, ProcId to) const;
+
+  /// End-to-end per-data-item cost along the routed path (the sum of hop
+  /// link costs; a lower bound on the actual transfer latency since hops
+  /// are store-and-forward).
+  [[nodiscard]] double distance(ProcId from, ProcId to) const;
+
+  [[nodiscard]] int num_processors() const noexcept { return p_; }
+
+ private:
+  RoutingTable(int p, Matrix<double> dist, Matrix<int> next)
+      : p_(p), dist_(std::move(dist)), next_(std::move(next)) {}
+
+  int p_ = 0;
+  Matrix<double> dist_;  // shortest per-item cost
+  Matrix<int> next_;     // next hop on the shortest path
+};
+
+/// A sparse platform plus its routing table, built together.
+struct RoutedPlatform {
+  Platform platform;
+  RoutingTable routing;
+};
+
+/// Ring of `p` processors: processor i links to (i±1) mod p at cost
+/// `link`; everything else is routed.
+[[nodiscard]] RoutedPlatform make_ring_platform(std::vector<double> cycle_times,
+                                                double link = 1.0);
+
+/// Star: processor 0 is the hub; spokes only connect through it.
+[[nodiscard]] RoutedPlatform make_star_platform(std::vector<double> cycle_times,
+                                                double link = 1.0);
+
+}  // namespace oneport

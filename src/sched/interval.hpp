@@ -1,0 +1,35 @@
+// Half-open time intervals [start, end) and the tolerance used for all
+// floating-point time comparisons in the library.
+#pragma once
+
+namespace oneport {
+
+/// All schedule times are doubles; two events closer than kTimeEps are
+/// considered simultaneous.  The tolerance is absolute: schedule horizons
+/// in the reproduced experiments are ~1e5-1e6 time units, far from the
+/// resolution limit of doubles.
+inline constexpr double kTimeEps = 1e-7;
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+  /// Zero-length intervals never conflict with anything (the paper's
+  /// Theorem-2 construction uses zero-weight tasks).
+  [[nodiscard]] bool degenerate() const noexcept {
+    return end - start <= kTimeEps;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Strict overlap test with tolerance: touching intervals ([a,b) then
+/// [b,c)) do not overlap, nor do degenerate ones.
+[[nodiscard]] inline bool overlaps(const Interval& a,
+                                   const Interval& b) noexcept {
+  if (a.degenerate() || b.degenerate()) return false;
+  return a.start < b.end - kTimeEps && b.start < a.end - kTimeEps;
+}
+
+}  // namespace oneport

@@ -1,0 +1,195 @@
+#include "sched/replay.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace oneport {
+
+namespace {
+
+/// Longest-path computation over a DAG of events with per-source lags.
+class EventGraph {
+ public:
+  explicit EventGraph(std::size_t num_events)
+      : succ_(num_events), in_degree_(num_events, 0),
+        start_(num_events, 0.0) {}
+
+  void add_constraint(std::size_t before, std::size_t after, double lag) {
+    succ_[before].push_back({after, lag});
+    ++in_degree_[after];
+  }
+
+  /// Kahn longest path; returns earliest start times.  Throws when the
+  /// constraint graph has a cycle.
+  std::vector<double> solve() {
+    std::vector<std::size_t> ready;
+    for (std::size_t e = 0; e < succ_.size(); ++e) {
+      if (in_degree_[e] == 0) ready.push_back(e);
+    }
+    std::size_t processed = 0;
+    for (std::size_t head = 0; head < ready.size(); ++head, ++processed) {
+      const std::size_t e = ready[head];
+      for (const auto& [next, lag] : succ_[e]) {
+        start_[next] = std::max(start_[next], start_[e] + lag);
+        if (--in_degree_[next] == 0) ready.push_back(next);
+      }
+    }
+    OP_REQUIRE(processed == succ_.size(),
+               "schedule induces a cyclic event ordering");
+    return std::move(start_);
+  }
+
+ private:
+  std::vector<std::vector<std::pair<std::size_t, double>>> succ_;
+  std::vector<std::size_t> in_degree_;
+  std::vector<double> start_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Shared replay core: recomputes all dates for given (possibly
+/// perturbed) task durations.
+Schedule replay_with_durations(const Schedule& schedule,
+                               const TaskGraph& graph,
+                               const Platform& platform, CommModel model,
+                               const std::vector<double>& task_dur) {
+  OP_REQUIRE(graph.finalized(), "graph must be finalized");
+  OP_REQUIRE(schedule.num_tasks() == graph.num_tasks(),
+             "schedule/graph size mismatch");
+  OP_REQUIRE(schedule.complete(), "replay requires a complete schedule");
+
+  const std::size_t n = graph.num_tasks();
+  const auto& comms = schedule.comms();
+  const std::size_t m = comms.size();
+  // Event ids: [0, n) are tasks, [n, n+m) are messages.
+  EventGraph events(n + m);
+
+  std::vector<double> comm_dur(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    comm_dur[c] = platform.comm_time(graph.edge_data(comms[c].src,
+                                                     comms[c].dst),
+                                     comms[c].from, comms[c].to);
+  }
+
+  // Data dependences.  Index messages by edge for the cross-processor
+  // case; an edge may be carried by a chain of store-and-forward hops
+  // when the schedule was built over a routed (sparse) network.
+  std::vector<std::vector<std::size_t>> comms_of_src(n);
+  for (std::size_t c = 0; c < m; ++c) {
+    comms_of_src[comms[c].src].push_back(c);
+  }
+  auto chain_of = [&](TaskId u, TaskId v) {
+    std::vector<std::size_t> chain;
+    for (const std::size_t c : comms_of_src[u]) {
+      if (comms[c].dst == v) chain.push_back(c);
+    }
+    OP_REQUIRE(!chain.empty(), "no message recorded for cross-processor "
+                               "edge " << u << "->" << v);
+    std::sort(chain.begin(), chain.end(), [&comms](std::size_t a,
+                                                   std::size_t b) {
+      return comms[a].start < comms[b].start;
+    });
+    return chain;
+  };
+  for (TaskId u = 0; u < n; ++u) {
+    for (const EdgeRef& e : graph.successors(u)) {
+      const TaskId v = e.task;
+      if (schedule.task(u).proc == schedule.task(v).proc) {
+        events.add_constraint(u, v, task_dur[u]);
+      } else {
+        const std::vector<std::size_t> chain = chain_of(u, v);
+        events.add_constraint(u, n + chain.front(), task_dur[u]);
+        for (std::size_t h = 0; h + 1 < chain.size(); ++h) {
+          events.add_constraint(n + chain[h], n + chain[h + 1],
+                                comm_dur[chain[h]]);
+        }
+        events.add_constraint(n + chain.back(), v, comm_dur[chain.back()]);
+      }
+    }
+  }
+
+  // Resource orders, extracted from the input dates (stable on ties).
+  const auto p = static_cast<std::size_t>(platform.num_processors());
+  std::vector<std::vector<TaskId>> compute_order(p);
+  for (TaskId v = 0; v < n; ++v) {
+    compute_order[static_cast<std::size_t>(schedule.task(v).proc)]
+        .push_back(v);
+  }
+  for (auto& order : compute_order) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&schedule](TaskId a, TaskId b) {
+                       return schedule.task(a).start < schedule.task(b).start;
+                     });
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      events.add_constraint(order[i - 1], order[i], task_dur[order[i - 1]]);
+    }
+  }
+
+  if (model == CommModel::kOnePort) {
+    std::vector<std::vector<std::size_t>> send_order(p), recv_order(p);
+    for (std::size_t c = 0; c < m; ++c) {
+      send_order[static_cast<std::size_t>(comms[c].from)].push_back(c);
+      recv_order[static_cast<std::size_t>(comms[c].to)].push_back(c);
+    }
+    auto chain = [&](std::vector<std::vector<std::size_t>>& orders) {
+      for (auto& order : orders) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&comms](std::size_t a, std::size_t b) {
+                           return comms[a].start < comms[b].start;
+                         });
+        for (std::size_t i = 1; i < order.size(); ++i) {
+          events.add_constraint(n + order[i - 1], n + order[i],
+                                comm_dur[order[i - 1]]);
+        }
+      }
+    };
+    chain(send_order);
+    chain(recv_order);
+  }
+
+  const std::vector<double> start = events.solve();
+
+  Schedule out(n);
+  for (TaskId v = 0; v < n; ++v) {
+    out.place_task(v, schedule.task(v).proc, start[v], start[v] + task_dur[v]);
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    CommPlacement placed = comms[c];
+    placed.start = start[n + c];
+    placed.finish = start[n + c] + comm_dur[c];
+    out.add_comm(placed);
+  }
+  return out;
+}
+
+}  // namespace
+
+Schedule asap_replay(const Schedule& schedule, const TaskGraph& graph,
+                     const Platform& platform, CommModel model) {
+  std::vector<double> task_dur(graph.num_tasks());
+  for (TaskId v = 0; v < graph.num_tasks(); ++v) {
+    task_dur[v] = platform.exec_time(graph.weight(v), schedule.task(v).proc);
+  }
+  return replay_with_durations(schedule, graph, platform, model, task_dur);
+}
+
+Schedule perturbed_replay(const Schedule& schedule, const TaskGraph& graph,
+                          const Platform& platform, CommModel model,
+                          double noise, std::uint64_t seed) {
+  OP_REQUIRE(noise >= 0.0 && noise < 1.0, "noise must be in [0, 1)");
+  SplitMix64 rng(seed);
+  std::vector<double> task_dur(graph.num_tasks());
+  for (TaskId v = 0; v < graph.num_tasks(); ++v) {
+    const double factor = 1.0 + noise * (2.0 * rng.uniform01() - 1.0);
+    task_dur[v] =
+        platform.exec_time(graph.weight(v), schedule.task(v).proc) * factor;
+  }
+  return replay_with_durations(schedule, graph, platform, model, task_dur);
+}
+
+}  // namespace oneport

@@ -1,0 +1,43 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+void Schedule::place_task(TaskId v, ProcId proc, double start, double finish) {
+  OP_REQUIRE(v < tasks_.size(), "task id out of range");
+  OP_REQUIRE(proc >= 0, "processor id must be non-negative");
+  OP_REQUIRE(finish >= start, "task finish before start");
+  OP_REQUIRE(!tasks_[v].placed(), "task " << v << " placed twice");
+  tasks_[v] = TaskPlacement{proc, start, finish};
+}
+
+void Schedule::add_comm(CommPlacement comm) {
+  OP_REQUIRE(comm.src < tasks_.size() && comm.dst < tasks_.size(),
+             "comm endpoints out of range");
+  OP_REQUIRE(comm.from >= 0 && comm.to >= 0 && comm.from != comm.to,
+             "comm must connect two distinct processors");
+  OP_REQUIRE(comm.finish >= comm.start, "comm finish before start");
+  comms_.push_back(comm);
+}
+
+const TaskPlacement& Schedule::task(TaskId v) const {
+  OP_REQUIRE(v < tasks_.size(), "task id out of range");
+  return tasks_[v];
+}
+
+bool Schedule::complete() const noexcept {
+  return std::all_of(tasks_.begin(), tasks_.end(),
+                     [](const TaskPlacement& t) { return t.placed(); });
+}
+
+double Schedule::makespan() const noexcept {
+  double m = 0.0;
+  for (const TaskPlacement& t : tasks_) m = std::max(m, t.finish);
+  for (const CommPlacement& c : comms_) m = std::max(m, c.finish);
+  return m;
+}
+
+}  // namespace oneport

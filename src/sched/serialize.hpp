@@ -1,0 +1,38 @@
+// Plain-text persistence for task graphs and schedules, so experiments
+// can be stored, diffed, and fed to external tooling.
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//
+//   taskgraph v1
+//   task <id> <weight> [name]        # ids must be dense, in order
+//   edge <src> <dst> <data>
+//
+//   schedule v1
+//   task <id> <proc> <start> <finish>
+//   comm <src> <dst> <from> <to> <start> <finish>
+//
+// Doubles are printed with max_digits10, so a write/read round trip is
+// bit-exact.
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace oneport {
+
+void write_task_graph(std::ostream& os, const TaskGraph& graph);
+
+/// Parses a graph written by write_task_graph; throws
+/// std::invalid_argument on malformed input.  The returned graph is
+/// finalized.
+[[nodiscard]] TaskGraph read_task_graph(std::istream& is);
+
+void write_schedule(std::ostream& os, const Schedule& schedule);
+
+/// Parses a schedule written by write_schedule; throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] Schedule read_schedule(std::istream& is);
+
+}  // namespace oneport

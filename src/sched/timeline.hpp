@@ -1,0 +1,81 @@
+// Busy-interval timeline of a single exclusive resource (a processor's
+// compute unit, send port, or receive port).
+//
+// Supports the two queries list scheduling needs:
+//   * next_fit(ready, duration): earliest start >= ready of a free slot,
+//     i.e. insertion-based gap search;
+//   * reserve(start, end): mark a slot busy.
+// plus a joint search over two timelines (sender port + receiver port) for
+// scheduling one-port communications, and an overlay mechanism so that
+// heuristics can *tentatively* reserve slots while evaluating a candidate
+// processor without mutating the committed state.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/interval.hpp"
+
+namespace oneport {
+
+class Timeline {
+ public:
+  /// Earliest start >= `ready` such that [start, start+duration) is free.
+  /// duration == 0 always fits at `ready`.
+  [[nodiscard]] double next_fit(double ready, double duration) const;
+
+  /// Marks [start, end) busy.  Throws std::logic_error when the slot
+  /// conflicts with an existing reservation (library bug).  Degenerate
+  /// intervals are ignored.
+  void reserve(double start, double end);
+
+  [[nodiscard]] bool is_free(double start, double end) const;
+
+  /// End of the last busy interval (0 when empty).
+  [[nodiscard]] double horizon() const noexcept {
+    return busy_.empty() ? 0.0 : busy_.back().end;
+  }
+
+  [[nodiscard]] std::span<const Interval> busy() const noexcept {
+    return busy_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return busy_.empty(); }
+  void clear() noexcept { busy_.clear(); }
+
+  /// Total busy time.
+  [[nodiscard]] double busy_time() const noexcept;
+
+ private:
+  // Sorted by start; pairwise non-overlapping (touching allowed; adjacent
+  // reservations are merged to keep the vector short).
+  std::vector<Interval> busy_;
+};
+
+/// A read-only view of a Timeline plus a small set of *pending* extra
+/// reservations, used while evaluating candidate processors.  The extras
+/// are typically the communications tentatively scheduled for earlier
+/// parents of the same task.
+class TimelineOverlay {
+ public:
+  explicit TimelineOverlay(const Timeline& base) : base_(&base) {}
+
+  [[nodiscard]] double next_fit(double ready, double duration) const;
+  void add(double start, double end);
+  [[nodiscard]] std::span<const Interval> extras() const noexcept {
+    return extras_;
+  }
+
+ private:
+  const Timeline* base_;
+  std::vector<Interval> extras_;  // kept sorted by start
+};
+
+/// Earliest start >= `ready` at which BOTH overlays have [start,
+/// start+duration) free -- the one-port constraint for a transfer that
+/// occupies the sender's send port and the receiver's receive port
+/// simultaneously.
+[[nodiscard]] double earliest_joint_fit(const TimelineOverlay& a,
+                                        const TimelineOverlay& b,
+                                        double ready, double duration);
+
+}  // namespace oneport

@@ -1,0 +1,24 @@
+#include "testbeds/testbeds.hpp"
+
+#include "util/error.hpp"
+
+namespace oneport::testbeds {
+
+TaskGraph make_fork(double parent_weight,
+                    const std::vector<double>& child_weights,
+                    const std::vector<double>& child_data) {
+  OP_REQUIRE(child_weights.size() == child_data.size(),
+             "child weight/data arity mismatch");
+  OP_REQUIRE(!child_weights.empty(), "fork needs at least one child");
+  TaskGraph g;
+  const TaskId parent = g.add_task(parent_weight, "v0");
+  for (std::size_t i = 0; i < child_weights.size(); ++i) {
+    const TaskId child =
+        g.add_task(child_weights[i], "v" + std::to_string(i + 1));
+    g.add_edge(parent, child, child_data[i]);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

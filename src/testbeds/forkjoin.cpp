@@ -1,0 +1,24 @@
+#include "testbeds/testbeds.hpp"
+
+#include "util/error.hpp"
+
+namespace oneport::testbeds {
+
+TaskGraph make_fork_join(int n, double comm_ratio) {
+  OP_REQUIRE(n >= 1, "FORK-JOIN needs at least one middle task");
+  OP_REQUIRE(comm_ratio >= 0.0, "comm ratio must be non-negative");
+  TaskGraph g;
+  const TaskId fork = g.add_task(1.0, "fork");
+  std::vector<TaskId> middle;
+  middle.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) middle.push_back(g.add_task(1.0));
+  const TaskId join = g.add_task(1.0, "join");
+  for (const TaskId v : middle) {
+    g.add_edge(fork, v, comm_ratio * g.weight(fork));
+    g.add_edge(v, join, comm_ratio * g.weight(v));
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,31 @@
+// LAPLACE: the n x n diamond (wavefront) DAG of a Laplace equation solver
+// sweep.  Task (i,j) -> (i+1,j) and (i,j) -> (i,j+1); unit weights.  All
+// complete paths have the same length, so every node lies on a critical
+// path -- which is exactly the paper's remark about this kernel.
+#include "testbeds/testbeds.hpp"
+
+#include "util/error.hpp"
+
+namespace oneport::testbeds {
+
+TaskGraph make_laplace(int n, double comm_ratio) {
+  OP_REQUIRE(n >= 1, "LAPLACE needs n >= 1");
+  OP_REQUIRE(comm_ratio >= 0.0, "comm ratio must be non-negative");
+  TaskGraph g;
+  auto id = [n](int i, int j) {
+    return static_cast<TaskId>(i * n + j);
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) g.add_task(1.0);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i + 1 < n) g.add_edge(id(i, j), id(i + 1, j), comm_ratio);
+      if (j + 1 < n) g.add_edge(id(i, j), id(i, j + 1), comm_ratio);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,59 @@
+// LDMt decomposition task graph: two coupled triangular wavefront meshes,
+// one for the L sweep and one for the M^t sweep.  Each mesh follows the
+// LU skeleton (column chain + diagonal propagation); the sweeps exchange
+// the freshly computed diagonal entries, coupling the two meshes along
+// the diagonal.  Work grows with the step: level-k tasks weigh k.
+//
+// Same reconstruction rationale as LU (see lu.cpp): the paper's miniature
+// is not legible, and only bounded out-degrees are consistent with the
+// reported one-port speedups (Figure 10 reaches 4.9).
+#include "testbeds/testbeds.hpp"
+
+#include "util/error.hpp"
+
+namespace oneport::testbeds {
+
+TaskGraph make_ldmt(int n, double comm_ratio) {
+  OP_REQUIRE(n >= 2, "LDMt needs n >= 2");
+  OP_REQUIRE(comm_ratio >= 0.0, "comm ratio must be non-negative");
+  TaskGraph g;
+  // Two meshes: L(k,j) and M(k,j) for 1 <= k < j <= n, level by level.
+  std::vector<TaskId> first_l(static_cast<std::size_t>(n), 0);
+  std::vector<TaskId> first_m(static_cast<std::size_t>(n), 0);
+  for (int k = 1; k < n; ++k) {
+    const double w = static_cast<double>(k);
+    first_l[static_cast<std::size_t>(k)] = static_cast<TaskId>(g.num_tasks());
+    for (int j = k + 1; j <= n; ++j) g.add_task(w);
+    first_m[static_cast<std::size_t>(k)] = static_cast<TaskId>(g.num_tasks());
+    for (int j = k + 1; j <= n; ++j) g.add_task(w);
+  }
+  auto l_id = [&first_l](int k, int j) {
+    return first_l[static_cast<std::size_t>(k)] +
+           static_cast<TaskId>(j - k - 1);
+  };
+  auto m_id = [&first_m](int k, int j) {
+    return first_m[static_cast<std::size_t>(k)] +
+           static_cast<TaskId>(j - k - 1);
+  };
+  for (int k = 1; k + 1 < n; ++k) {
+    const double data = comm_ratio * static_cast<double>(k);
+    for (int j = k + 1; j <= n; ++j) {
+      if (j >= k + 2) {
+        g.add_edge(l_id(k, j), l_id(k + 1, j), data);
+        g.add_edge(m_id(k, j), m_id(k + 1, j), data);
+      }
+      if (j + 1 <= n) {
+        g.add_edge(l_id(k, j), l_id(k + 1, j + 1), data);
+        g.add_edge(m_id(k, j), m_id(k + 1, j + 1), data);
+      }
+    }
+    // Diagonal coupling: each sweep's freshly finished diagonal task
+    // releases the other sweep's next diagonal task.
+    g.add_edge(l_id(k, k + 1), m_id(k + 1, k + 2), data);
+    g.add_edge(m_id(k, k + 1), l_id(k + 1, k + 2), data);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,57 @@
+#include "testbeds/testbeds.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace oneport::testbeds {
+
+TaskGraph make_random_layered(const RandomDagOptions& options) {
+  OP_REQUIRE(options.layers >= 1, "need at least one layer");
+  OP_REQUIRE(options.max_width >= 1, "need at least one task per layer");
+  OP_REQUIRE(options.max_in_degree >= 1, "need max_in_degree >= 1");
+  OP_REQUIRE(options.back_reach >= 1, "need back_reach >= 1");
+  OP_REQUIRE(options.w_lo > 0.0 && options.w_hi >= options.w_lo,
+             "invalid weight range");
+  SplitMix64 rng(options.seed);
+  TaskGraph g;
+  std::vector<std::vector<TaskId>> layers;
+  for (int l = 0; l < options.layers; ++l) {
+    const int width =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                options.max_width)));
+    std::vector<TaskId> layer;
+    layer.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      layer.push_back(g.add_task(rng.uniform(options.w_lo, options.w_hi)));
+    }
+    if (l > 0) {
+      // Candidate parents: the previous `back_reach` layers.
+      std::vector<TaskId> candidates;
+      const int first = std::max(0, l - options.back_reach);
+      for (int b = first; b < l; ++b) {
+        candidates.insert(candidates.end(), layers[static_cast<std::size_t>(b)]
+                                                .begin(),
+                          layers[static_cast<std::size_t>(b)].end());
+      }
+      for (const TaskId v : layer) {
+        const int degree =
+            1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                    options.max_in_degree)));
+        for (int d = 0; d < degree; ++d) {
+          const TaskId parent = candidates[static_cast<std::size_t>(
+              rng.below(candidates.size()))];
+          if (!g.has_edge(parent, v)) {
+            g.add_edge(parent, v, options.comm_ratio * g.weight(parent));
+          }
+        }
+      }
+    }
+    layers.push_back(std::move(layer));
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,31 @@
+#include "testbeds/registry.hpp"
+
+#include <stdexcept>
+
+#include "testbeds/testbeds.hpp"
+
+namespace oneport::testbeds {
+
+std::vector<TestbedEntry> paper_testbeds() {
+  return {
+      {"LU", [](int n, double c) { return make_lu(n, c); }, 4},
+      {"LAPLACE", [](int n, double c) { return make_laplace(n, c); }, 38},
+      {"STENCIL", [](int n, double c) { return make_stencil(n, c); }, 38},
+      {"FORK-JOIN", [](int n, double c) { return make_fork_join(n, c); }, 38},
+      {"DOOLITTLE", [](int n, double c) { return make_doolittle(n, c); }, 20},
+      {"LDMt", [](int n, double c) { return make_ldmt(n, c); }, 20},
+  };
+}
+
+TestbedEntry find_testbed(const std::string& name) {
+  std::string known;
+  for (auto& entry : paper_testbeds()) {
+    if (entry.name == name) return std::move(entry);
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  throw std::invalid_argument("unknown testbed '" + name +
+                              "'; known: " + known);
+}
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,28 @@
+// Name-based testbed registry for examples and benchmark harnesses.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace oneport::testbeds {
+
+struct TestbedEntry {
+  std::string name;  ///< "LU", "LAPLACE", "STENCIL", "FORK-JOIN",
+                     ///< "DOOLITTLE", "LDMt"
+  /// Generator: problem size n, communication-to-computation ratio c.
+  std::function<TaskGraph(int n, double c)> make;
+  /// The chunk size B the paper found best for this kernel (§5.3).
+  int paper_best_b;
+};
+
+/// The paper's six kernels, in the order of §5.1.
+[[nodiscard]] std::vector<TestbedEntry> paper_testbeds();
+
+/// Lookup by name (case-sensitive); throws std::invalid_argument listing
+/// the known names when absent.
+[[nodiscard]] TestbedEntry find_testbed(const std::string& name);
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,36 @@
+// STENCIL: n rows of n columns; task (i,j) reads its three lower
+// neighbors (i-1, j-1), (i-1, j), (i-1, j+1), clamped at the borders.
+// Unit weights.  Row i can only start when row i-1 is complete in its
+// neighborhood, so large instances force all processors onto every row
+// and the serialized one-port communications become the bottleneck -- the
+// paper's explanation for the decreasing speedup of this kernel.
+#include "testbeds/testbeds.hpp"
+
+#include "util/error.hpp"
+
+namespace oneport::testbeds {
+
+TaskGraph make_stencil(int n, double comm_ratio) {
+  OP_REQUIRE(n >= 1, "STENCIL needs n >= 1");
+  OP_REQUIRE(comm_ratio >= 0.0, "comm ratio must be non-negative");
+  TaskGraph g;
+  auto id = [n](int i, int j) {
+    return static_cast<TaskId>(i * n + j);
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) g.add_task(1.0);
+  }
+  for (int i = 1; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        const int pj = j + dj;
+        if (pj < 0 || pj >= n) continue;
+        g.add_edge(id(i - 1, pj), id(i, j), comm_ratio);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

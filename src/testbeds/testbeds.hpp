@@ -1,0 +1,86 @@
+// The six classical task-graph kernels of the paper's evaluation (§5.1),
+// plus a plain fork graph (§3) and a random layered DAG for property
+// testing.
+//
+// Common conventions (§5.2):
+//   * LAPLACE, STENCIL and FORK-JOIN use unit task weights; the linear-
+//     algebra kernels (LU, DOOLITTLE, LDMt) have level-dependent weights
+//     (LU: level k weighs n-k; DOOLITTLE/LDMt: level k weighs k).
+//   * every edge u->v carries data(u,v) = comm_ratio * w(u) ("we always
+//     communicate the data that has just been updated"); the paper's
+//     experiments use comm_ratio = 10.
+//
+// The paper's miniature drawings (Figures 5-6) are not legible from the
+// text dump; the dependence shapes below follow the classical literature
+// the paper cites (Cosnard-Marrakchi-Robert-Trystram for the linear-
+// algebra graphs) and are documented per generator.  See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace oneport::testbeds {
+
+/// Communication-to-computation ratio used throughout the paper's
+/// experiments ("c" in §5.2).
+inline constexpr double kPaperCommRatio = 10.0;
+
+/// FORK-JOIN(n): fork -> n children -> join, n+2 unit-weight tasks.
+/// Sequential time (n+2)*w*t; the paper derives the speedup cap
+/// w*t/c + 1 for this kernel.
+[[nodiscard]] TaskGraph make_fork_join(int n,
+                                       double comm_ratio = kPaperCommRatio);
+
+/// Plain fork graph (§3): parent weight `parent_weight`, one child per
+/// entry of `child_weights`; data(parent, child_i) = child_data[i].
+/// Used by the NP-completeness machinery, where data volumes are *not*
+/// tied to task weights.
+[[nodiscard]] TaskGraph make_fork(double parent_weight,
+                                  const std::vector<double>& child_weights,
+                                  const std::vector<double>& child_data);
+
+/// LU(n): tasks T(k,j), 1 <= k < j <= n; T(k,j) -> T(k+1,j) (column update
+/// chain) and T(k,k+1) -> T(k+1,j) (pivot column broadcast); weight of
+/// level k is n-k.  n(n-1)/2 tasks.
+[[nodiscard]] TaskGraph make_lu(int n, double comm_ratio = kPaperCommRatio);
+
+/// DOOLITTLE(n): same dependence skeleton as LU but the weight of level k
+/// is k -- Doolittle's row-oriented reduction computes growing dot
+/// products as the factorization proceeds.
+[[nodiscard]] TaskGraph make_doolittle(int n,
+                                       double comm_ratio = kPaperCommRatio);
+
+/// LDMt(n): per level k a diagonal task G(k) plus L(k,j) and M(k,j) tasks
+/// per column j > k (the L and M^t sweeps); all level-k tasks weigh k.
+/// G(k) -> {L,M}(k,j); {L,M}(k,k+1) -> G(k+1); {L,M}(k,j) -> {L,M}(k+1,j).
+[[nodiscard]] TaskGraph make_ldmt(int n, double comm_ratio = kPaperCommRatio);
+
+/// LAPLACE(n): n x n diamond (wavefront) DAG, (i,j) -> (i+1,j) and
+/// (i,j) -> (i,j+1); unit weights.  Every node lies on a critical path.
+[[nodiscard]] TaskGraph make_laplace(int n,
+                                     double comm_ratio = kPaperCommRatio);
+
+/// STENCIL(n): n rows x n columns; task (i,j) depends on (i-1, j-1),
+/// (i-1, j) and (i-1, j+1) (clamped at the borders); unit weights.
+[[nodiscard]] TaskGraph make_stencil(int n,
+                                     double comm_ratio = kPaperCommRatio);
+
+/// Random layered DAG for property tests: `layers` layers of up to
+/// `max_width` tasks; each non-entry task draws 1..max_in_degree parents
+/// from the previous `back_reach` layers; weights in [w_lo, w_hi), edge
+/// data = comm_ratio * w(source).  Deterministic in `seed`.
+struct RandomDagOptions {
+  int layers = 8;
+  int max_width = 6;
+  int max_in_degree = 3;
+  int back_reach = 2;
+  double w_lo = 0.5;
+  double w_hi = 4.0;
+  double comm_ratio = 2.0;
+  std::uint64_t seed = 42;
+};
+[[nodiscard]] TaskGraph make_random_layered(const RandomDagOptions& options);
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,58 @@
+// Tiny command-line parser for the examples and benchmark harnesses.
+// Accepts "--key=value" and "--flag"; anything else is a positional.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          options_[arg.substr(2)] = "";
+        } else {
+          options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return options_.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options_.find(key);
+    return it == options_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace oneport

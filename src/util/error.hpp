@@ -1,0 +1,46 @@
+// Error-handling helpers shared across the library.
+//
+// Construction-time misuse (bad arguments, malformed graphs, ...) throws
+// std::invalid_argument / std::logic_error via OP_REQUIRE; internal
+// invariants are checked with OP_ASSERT, which is compiled in all build
+// types because scheduling bugs silently corrupt experiment data.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oneport {
+
+/// Throws std::invalid_argument with `message` when `condition` is false.
+/// Used to validate public-API arguments.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::logic_error: used for violated internal invariants whose
+/// failure indicates a library bug rather than user error.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace oneport
+
+#define OP_REQUIRE(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << __func__ << ": " << msg;                               \
+      throw std::invalid_argument(oss_.str());                       \
+    }                                                                \
+  } while (0)
+
+#define OP_ASSERT(cond, msg)                                         \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << __FILE__ << ":" << __LINE__ << ": invariant failed: "  \
+           << msg;                                                   \
+      throw std::logic_error(oss_.str());                            \
+    }                                                                \
+  } while (0)

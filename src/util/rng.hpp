@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (random DAG generator, fault
+// injectors in tests) takes an explicit seed so that experiments and test
+// failures reproduce bit-identically across runs and machines.  We use
+// SplitMix64 (Steele et al.) -- tiny, fast, and statistically adequate for
+// workload generation.
+#pragma once
+
+#include <cstdint>
+
+namespace oneport {
+
+/// SplitMix64 generator; satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Simple modulo mapping; the bias is negligible for the small bounds
+    // used in workload generation (bound << 2^64).
+    return operator()() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace oneport

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/experiment.hpp"
+#include "analysis/gantt.hpp"
+#include "analysis/metrics.hpp"
+#include "core/heft.hpp"
+#include "testbeds/testbeds.hpp"
+
+namespace oneport::analysis {
+namespace {
+
+TEST(Metrics, SequentialTimeUsesFastestProcessor) {
+  TaskGraph g;
+  g.add_task(2.0);
+  g.add_task(3.0);
+  g.finalize();
+  const Platform p({4.0, 2.0}, 1.0);
+  EXPECT_DOUBLE_EQ(sequential_time(g, p), 10.0);
+}
+
+TEST(Metrics, SpeedupIsSequentialOverMakespan) {
+  TaskGraph g;
+  g.add_task(2.0);
+  g.add_task(2.0);
+  g.finalize();
+  const Platform p({1.0, 1.0}, 1.0);
+  Schedule s(2);
+  s.place_task(0, 0, 0.0, 2.0);
+  s.place_task(1, 1, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(speedup(g, p, s), 2.0);
+}
+
+TEST(Metrics, StatsAccounting) {
+  TaskGraph g;
+  g.add_task(1.0);
+  g.add_task(3.0);
+  g.add_edge(0, 1, 2.0);
+  g.finalize();
+  const Platform p({1.0, 1.0}, 1.0);
+  Schedule s(2);
+  s.place_task(0, 0, 0.0, 1.0);
+  s.add_comm({0, 1, 0, 1, 1.0, 3.0});
+  s.place_task(1, 1, 3.0, 6.0);
+  const ScheduleStats stats = compute_stats(g, p, s);
+  EXPECT_DOUBLE_EQ(stats.makespan, 6.0);
+  EXPECT_EQ(stats.num_comms, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_comm_time, 2.0);
+  ASSERT_EQ(stats.busy.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.busy[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.busy[1], 3.0);
+  EXPECT_DOUBLE_EQ(stats.load_imbalance, 1.5);
+  EXPECT_DOUBLE_EQ(stats.mean_utilization, 2.0 / 6.0);
+}
+
+TEST(Gantt, AsciiShowsComputeAndPorts) {
+  const TaskGraph g = testbeds::make_fork(1.0, {1.0, 1.0}, {1.0, 1.0});
+  const Platform p = make_homogeneous_platform(2, 1.0, 1.0);
+  const Schedule s = heft(g, p, {.model = EftEngine::Model::kOnePort});
+  std::ostringstream oss;
+  write_gantt_ascii(oss, s, p, {.width = 40});
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("P0 cpu"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+}
+
+TEST(Gantt, AsciiWithoutPorts) {
+  const TaskGraph g = testbeds::make_fork(1.0, {1.0}, {1.0});
+  const Platform p = make_homogeneous_platform(2, 1.0, 1.0);
+  const Schedule s = heft(g, p, {});
+  std::ostringstream oss;
+  write_gantt_ascii(oss, s, p, {.width = 40, .show_ports = false});
+  EXPECT_EQ(oss.str().find("send"), std::string::npos);
+}
+
+TEST(Gantt, SvgContainsRectangles) {
+  const TaskGraph g = testbeds::make_fork(1.0, {1.0, 1.0}, {1.0, 1.0});
+  const Platform p = make_homogeneous_platform(2, 1.0, 1.0);
+  const Schedule s = heft(g, p, {.model = EftEngine::Model::kOnePort});
+  std::ostringstream oss;
+  write_gantt_svg(oss, s, p);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("<rect"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+}
+
+TEST(Experiment, RunFigureProducesValidatedRows) {
+  FigureConfig config;
+  config.testbed = "LAPLACE";
+  config.sizes = {6, 10};
+  config.chunk_size = 38;
+  const Platform platform = make_paper_platform();
+  const std::vector<FigureRow> rows = run_figure(config, platform);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const FigureRow& r : rows) {
+    EXPECT_GT(r.heft_speedup, 0.0);
+    EXPECT_GT(r.ilha_speedup, 0.0);
+    EXPECT_GT(r.heft_makespan, 0.0);
+  }
+  EXPECT_EQ(rows[0].size, 6);
+  EXPECT_EQ(rows[1].size, 10);
+}
+
+TEST(Experiment, FigureTableFormatsRows) {
+  std::vector<FigureRow> rows(1);
+  rows[0].size = 100;
+  rows[0].heft_speedup = 4.0;
+  rows[0].ilha_speedup = 4.4;
+  const csv::Table table = figure_table(rows);
+  EXPECT_EQ(table.num_rows(), 1u);
+  // 10% gain column.
+  EXPECT_EQ(table.rows()[0][3], "10");
+}
+
+TEST(Experiment, UnknownTestbedThrows) {
+  FigureConfig config;
+  config.testbed = "BOGUS";
+  EXPECT_THROW(run_figure(config, make_paper_platform()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oneport::analysis

@@ -1,0 +1,135 @@
+// Direct tests of the EFT engine -- the machinery every heuristic shares.
+#include <gtest/gtest.h>
+
+#include "core/eft_engine.hpp"
+#include "sched/validate.hpp"
+
+namespace oneport {
+namespace {
+
+/// Fork 0 -> {1, 2}; data 2 each; three unit processors.
+struct Fixture {
+  Fixture() {
+    graph.add_task(1.0);
+    graph.add_task(1.0);
+    graph.add_task(1.0);
+    graph.add_edge(0, 1, 2.0);
+    graph.add_edge(0, 2, 2.0);
+    graph.finalize();
+  }
+  TaskGraph graph;
+  Platform platform{{1.0, 1.0, 1.0}, 1.0};
+};
+
+TEST(EftEngine, EvaluateDoesNotMutate) {
+  Fixture f;
+  EftEngine engine(f.graph, f.platform, EftEngine::Model::kOnePort);
+  engine.commit(engine.evaluate(0, 0));
+  const Evaluation once = engine.evaluate(1, 1);
+  const Evaluation twice = engine.evaluate(1, 1);
+  EXPECT_DOUBLE_EQ(once.start, twice.start);
+  EXPECT_DOUBLE_EQ(once.finish, twice.finish);
+  ASSERT_EQ(once.comms.size(), twice.comms.size());
+  for (std::size_t i = 0; i < once.comms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(once.comms[i].start, twice.comms[i].start);
+  }
+}
+
+TEST(EftEngine, SameProcessorNeedsNoMessage) {
+  Fixture f;
+  EftEngine engine(f.graph, f.platform, EftEngine::Model::kOnePort);
+  engine.commit(engine.evaluate(0, 0));
+  const Evaluation eval = engine.evaluate(1, 0);
+  EXPECT_TRUE(eval.comms.empty());
+  EXPECT_DOUBLE_EQ(eval.start, 1.0);  // right after the parent
+}
+
+TEST(EftEngine, OnePortMessagesWithinOneEvaluationSerialize) {
+  // Join {0, 1} -> 2: evaluating 2 on a third processor schedules two
+  // incoming messages that share 2's receive port.
+  TaskGraph g;
+  g.add_task(1.0);
+  g.add_task(1.0);
+  g.add_task(1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  const Platform p({1.0, 1.0, 1.0}, 1.0);
+  EftEngine engine(g, p, EftEngine::Model::kOnePort);
+  engine.commit(engine.evaluate(0, 0));
+  engine.commit(engine.evaluate(1, 1));
+  const Evaluation eval = engine.evaluate(2, 2);
+  ASSERT_EQ(eval.comms.size(), 2u);
+  // Distinct senders, same receiver: the receive port serializes them.
+  EXPECT_GE(eval.comms[1].start, eval.comms[0].finish - kTimeEps);
+  EXPECT_DOUBLE_EQ(eval.start, 5.0);  // 1 + 2 + 2
+}
+
+TEST(EftEngine, MacroMessagesWithinOneEvaluationOverlap) {
+  TaskGraph g;
+  g.add_task(1.0);
+  g.add_task(1.0);
+  g.add_task(1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  const Platform p({1.0, 1.0, 1.0}, 1.0);
+  EftEngine engine(g, p, EftEngine::Model::kMacroDataflow);
+  engine.commit(engine.evaluate(0, 0));
+  engine.commit(engine.evaluate(1, 1));
+  const Evaluation eval = engine.evaluate(2, 2);
+  EXPECT_DOUBLE_EQ(eval.start, 3.0);  // both messages fly concurrently
+}
+
+TEST(EftEngine, CommitReservesPorts) {
+  Fixture f;
+  EftEngine engine(f.graph, f.platform, EftEngine::Model::kOnePort);
+  engine.commit(engine.evaluate(0, 0));
+  engine.commit(engine.evaluate(1, 1));  // message on P0.send during [1,3)
+  // Task 2 on P2 must wait for P0's send port.
+  const Evaluation eval = engine.evaluate(2, 2);
+  ASSERT_EQ(eval.comms.size(), 1u);
+  EXPECT_DOUBLE_EQ(eval.comms[0].start, 3.0);
+  EXPECT_DOUBLE_EQ(eval.start, 5.0);
+}
+
+TEST(EftEngine, GuardsAgainstMisuse) {
+  Fixture f;
+  EftEngine engine(f.graph, f.platform, EftEngine::Model::kOnePort);
+  EXPECT_THROW(engine.evaluate(0, 99), std::invalid_argument);
+  EXPECT_THROW(engine.evaluate(1, 0), std::invalid_argument);  // parent not
+                                                               // scheduled
+  engine.commit(engine.evaluate(0, 0));
+  EXPECT_THROW(engine.commit(engine.evaluate(0, 1)), std::invalid_argument);
+  EXPECT_THROW(engine.build_schedule(), std::invalid_argument);  // incomplete
+  EXPECT_THROW(engine.commit(Evaluation{}), std::invalid_argument);
+}
+
+TEST(EftEngine, ReadyTracksPredecessors) {
+  Fixture f;
+  EftEngine engine(f.graph, f.platform, EftEngine::Model::kOnePort);
+  EXPECT_TRUE(engine.ready(0));
+  EXPECT_FALSE(engine.ready(1));
+  engine.commit(engine.evaluate(0, 0));
+  EXPECT_TRUE(engine.ready(1));
+}
+
+TEST(EftEngine, BuildScheduleIsValid) {
+  Fixture f;
+  EftEngine engine(f.graph, f.platform, EftEngine::Model::kOnePort);
+  for (TaskId v = 0; v < 3; ++v) engine.commit(engine.evaluate_best(v));
+  const Schedule s = engine.build_schedule();
+  EXPECT_TRUE(validate_one_port(s, f.graph, f.platform).ok());
+}
+
+TEST(EftEngine, RejectsMismatchedRoutingTable) {
+  Fixture f;
+  const RoutedPlatform ring = make_ring_platform({1, 1, 1, 1}, 1.0);  // p=4
+  EXPECT_THROW(
+      EftEngine(f.graph, f.platform, EftEngine::Model::kOnePort,
+                &ring.routing),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oneport

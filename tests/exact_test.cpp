@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "core/heft.hpp"
+#include "exact/fork_optimal.hpp"
+#include "exact/reductions.hpp"
+#include "exact/two_partition.hpp"
+#include "sched/validate.hpp"
+
+namespace oneport::exact {
+namespace {
+
+// ---------------------------------------------------------- 2-PARTITION
+
+TEST(TwoPartition, FindsACertificate) {
+  const std::vector<std::int64_t> values{3, 1, 1, 2, 2, 1};  // sum 10
+  const auto half = two_partition(values);
+  ASSERT_TRUE(half.has_value());
+  std::int64_t sum = 0;
+  for (const std::size_t i : *half) sum += values[i];
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(TwoPartition, OddSumHasNoSolution) {
+  EXPECT_FALSE(two_partition({1, 1, 1}).has_value());
+}
+
+TEST(TwoPartition, DominantValueHasNoSolution) {
+  EXPECT_FALSE(two_partition({1, 1, 4}).has_value());  // sum 6, 4 > 3
+}
+
+TEST(TwoPartition, EmptyAndInvalid) {
+  EXPECT_FALSE(two_partition({}).has_value());
+  EXPECT_THROW(two_partition({0}), std::invalid_argument);
+  EXPECT_THROW(two_partition({-1, 1}), std::invalid_argument);
+}
+
+TEST(TwoPartition, SingletonPair) {
+  const auto half = two_partition({7, 7});
+  ASSERT_TRUE(half.has_value());
+  EXPECT_EQ(half->size(), 1u);
+}
+
+// ------------------------------------------------------- fork optimum
+
+TEST(ForkOptimal, Section2ExampleIsFive) {
+  const ForkInstance inst{1.0, std::vector<double>(6, 1.0),
+                          std::vector<double>(6, 1.0), 1.0, 1.0};
+  const ForkOptimum opt = solve_fork_one_port_optimal(inst);
+  EXPECT_DOUBLE_EQ(opt.makespan, 5.0);
+  // One optimal solution keeps three children local (paper §2.3).
+  EXPECT_EQ(opt.local_children.size(), 3u);
+  const RealizedFork realized = realize_fork_schedule(inst, opt);
+  EXPECT_TRUE(validate_one_port(realized.schedule, realized.graph,
+                                realized.platform)
+                  .ok());
+  EXPECT_DOUBLE_EQ(realized.schedule.makespan(), 5.0);
+}
+
+TEST(ForkOptimal, AllLocalWhenCommsDominate) {
+  const ForkInstance inst{1.0, {1.0, 1.0}, {100.0, 100.0}, 1.0, 1.0};
+  const ForkOptimum opt = solve_fork_one_port_optimal(inst);
+  EXPECT_EQ(opt.local_children.size(), 2u);
+  EXPECT_DOUBLE_EQ(opt.makespan, 3.0);
+}
+
+TEST(ForkOptimal, AllRemoteWhenCommsAreFree) {
+  const ForkInstance inst{1.0, {5.0, 5.0, 5.0}, {0.0, 0.0, 0.0}, 1.0, 1.0};
+  const ForkOptimum opt = solve_fork_one_port_optimal(inst);
+  EXPECT_TRUE(opt.local_children.empty());
+  EXPECT_DOUBLE_EQ(opt.makespan, 6.0);
+}
+
+TEST(ForkOptimal, MatchesHeuristicLowerBound) {
+  // The exact optimum can never exceed what one-port HEFT finds.
+  const ForkInstance inst{2.0, {3.0, 1.0, 4.0, 1.0, 5.0},
+                          {2.0, 6.0, 1.0, 3.0, 2.0}, 1.0, 1.0};
+  const ForkOptimum opt = solve_fork_one_port_optimal(inst);
+  const TaskGraph g = fork_instance_graph(inst);
+  const Platform p = make_homogeneous_platform(6, 1.0, 1.0);
+  const Schedule s = heft(g, p, {.model = EftEngine::Model::kOnePort});
+  EXPECT_TRUE(validate_one_port(s, g, p).ok());
+  EXPECT_LE(opt.makespan, s.makespan() + 1e-9);
+  const RealizedFork realized = realize_fork_schedule(inst, opt);
+  EXPECT_TRUE(validate_one_port(realized.schedule, realized.graph,
+                                realized.platform)
+                  .ok());
+  EXPECT_NEAR(realized.schedule.makespan(), opt.makespan, 1e-9);
+}
+
+TEST(ForkOptimal, CapsInstanceSize) {
+  ForkInstance inst;
+  inst.parent_weight = 1.0;
+  inst.child_weights.assign(25, 1.0);
+  inst.child_data.assign(25, 1.0);
+  EXPECT_THROW(solve_fork_one_port_optimal(inst), std::invalid_argument);
+}
+
+// -------------------------------------------------------- Theorem 1
+
+TEST(Theorem1, YesInstanceMeetsTheBound) {
+  const std::vector<std::int64_t> values{3, 1, 1, 2, 2, 1};  // 2S = 10
+  const auto half = two_partition(values);
+  ASSERT_TRUE(half.has_value());
+
+  const ForkSchedInstance inst = make_fork_sched_instance(values);
+  // T = 5n(M+1) + 10S + 20(M+m) + 2 with n=6, M=3, m=1, S=5.
+  EXPECT_DOUBLE_EQ(inst.time_bound, 5 * 6 * 4 + 10 * 5 + 20 * 4 + 2);
+  EXPECT_DOUBLE_EQ(inst.w_min, 10 * (3 + 1) + 1);
+
+  const RealizedFork realized = realize_theorem1_schedule(values, *half);
+  EXPECT_TRUE(validate_one_port(realized.schedule, realized.graph,
+                                realized.platform)
+                  .ok());
+  EXPECT_NEAR(realized.schedule.makespan(), inst.time_bound, 1e-9);
+
+  // And the exhaustive optimum agrees that the bound is reachable.
+  const ForkOptimum opt = solve_fork_one_port_optimal(inst.fork);
+  EXPECT_NEAR(opt.makespan, inst.time_bound, 1e-9);
+}
+
+TEST(Theorem1, NoInstanceExceedsTheBound) {
+  const std::vector<std::int64_t> values{1, 1, 4};  // sum 6, no partition
+  ASSERT_FALSE(two_partition(values).has_value());
+  const ForkSchedInstance inst = make_fork_sched_instance(values);
+  const ForkOptimum opt = solve_fork_one_port_optimal(inst.fork);
+  EXPECT_GT(opt.makespan, inst.time_bound + 1e-9);
+}
+
+TEST(Theorem1, WeightsSatisfyTheConstructionInvariants) {
+  const std::vector<std::int64_t> values{2, 3, 5, 2};
+  const ForkSchedInstance inst = make_fork_sched_instance(values);
+  // w_min <= w_i <= 2 w_min for the value children (paper's remark).
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_GE(inst.fork.child_weights[i], inst.w_min);
+    EXPECT_LE(inst.fork.child_weights[i], 2.0 * inst.w_min);
+  }
+  // d_i = w_i everywhere.
+  EXPECT_EQ(inst.fork.child_data, inst.fork.child_weights);
+}
+
+// -------------------------------------------------------- Theorem 2
+
+TEST(Theorem2, InstanceShape) {
+  const std::vector<std::int64_t> values{2, 2, 3, 3};  // 2S = 10
+  const CommSchedInstance inst = make_comm_sched_instance(values);
+  EXPECT_EQ(inst.graph.num_tasks(), 3u * 4u + 1u);
+  EXPECT_EQ(inst.platform.num_processors(), 2 * 4 + 1);
+  EXPECT_DOUBLE_EQ(inst.time_bound, 10.0);  // 2S (see reductions.cpp note)
+  // v_i and v_{n+i} share processor P_i.
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_EQ(inst.allocation[i], inst.allocation[4 + i]);
+    EXPECT_EQ(inst.allocation[2 * 4 + i], static_cast<ProcId>(4 + i));
+  }
+}
+
+TEST(Theorem2, YesInstanceMeetsTheBound) {
+  const std::vector<std::int64_t> values{2, 2, 3, 3};
+  const auto half = two_partition(values);
+  ASSERT_TRUE(half.has_value());
+  const CommSchedInstance inst = make_comm_sched_instance(values);
+  const Schedule s = realize_theorem2_schedule(inst, values, *half);
+  const ValidationResult check =
+      validate_one_port(s, inst.graph, inst.platform);
+  EXPECT_TRUE(check.ok()) << check.message();
+  EXPECT_NEAR(s.makespan(), inst.time_bound, 1e-9);
+  // Allocation is the fixed one.
+  for (TaskId v = 0; v < inst.graph.num_tasks(); ++v) {
+    EXPECT_EQ(s.task(v).proc, inst.allocation[v]);
+  }
+  EXPECT_NEAR(solve_comm_sched_optimal(inst, values), inst.time_bound, 1e-9);
+}
+
+TEST(Theorem2, NoInstanceExceedsTheBound) {
+  const std::vector<std::int64_t> values{1, 1, 4};
+  ASSERT_FALSE(two_partition(values).has_value());
+  const CommSchedInstance inst = make_comm_sched_instance(values);
+  EXPECT_GT(solve_comm_sched_optimal(inst, values),
+            inst.time_bound + 1e-9);
+}
+
+TEST(Theorem2, IffPropertyOnSmallInstances) {
+  // Exhaustive check of the reduction on all multisets from a small pool:
+  // optimum == 2S iff 2-PARTITION has a solution.
+  const std::vector<std::vector<std::int64_t>> instances = {
+      {1, 1},       {1, 2},       {2, 2, 4},    {1, 2, 3},
+      {1, 1, 1, 1}, {5, 4, 3, 2}, {3, 3, 3, 1}, {2, 4, 6, 8, 10},
+  };
+  for (const auto& values : instances) {
+    const CommSchedInstance inst = make_comm_sched_instance(values);
+    const double opt = solve_comm_sched_optimal(inst, values);
+    const bool feasible = two_partition(values).has_value();
+    if (feasible) {
+      EXPECT_NEAR(opt, inst.time_bound, 1e-9);
+    } else {
+      EXPECT_GT(opt, inst.time_bound + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oneport::exact

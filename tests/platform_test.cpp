@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "platform/load_balance.hpp"
+#include "platform/platform.hpp"
+
+namespace oneport {
+namespace {
+
+TEST(Platform, UniformLinkConstruction) {
+  const Platform p({1.0, 2.0}, 3.0);
+  EXPECT_EQ(p.num_processors(), 2);
+  EXPECT_DOUBLE_EQ(p.link(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.link(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(p.link(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.cycle_time(1), 2.0);
+}
+
+TEST(Platform, RejectsBadConfigurations) {
+  EXPECT_THROW(Platform({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({-1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({1.0}, -1.0), std::invalid_argument);
+  Matrix<double> bad_diag(2, 2, 1.0);  // non-zero diagonal
+  EXPECT_THROW(Platform({1.0, 1.0}, bad_diag), std::invalid_argument);
+  Matrix<double> wrong_size(3, 3, 0.0);
+  EXPECT_THROW(Platform({1.0, 1.0}, wrong_size), std::invalid_argument);
+}
+
+TEST(Platform, ExecAndCommTimes) {
+  const Platform p({2.0, 4.0}, 3.0);
+  EXPECT_DOUBLE_EQ(p.exec_time(5.0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(p.exec_time(5.0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(2.0, 0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(2.0, 1, 1), 0.0);
+}
+
+TEST(Platform, FastestProcessorBreaksTiesLow) {
+  const Platform p({3.0, 1.0, 1.0}, 1.0);
+  EXPECT_EQ(p.fastest_processor(), 1);
+}
+
+TEST(Platform, HarmonicMeans) {
+  const Platform p({2.0, 2.0}, 4.0);
+  EXPECT_DOUBLE_EQ(p.harmonic_mean_cycle_time(), 2.0);
+  EXPECT_DOUBLE_EQ(p.harmonic_mean_link(), 4.0);
+  const Platform single({2.0}, 0.0);
+  EXPECT_DOUBLE_EQ(single.harmonic_mean_link(), 0.0);
+}
+
+TEST(Platform, HeterogeneousLinkHarmonicMean) {
+  Matrix<double> link(2, 2, 0.0);
+  link(0, 1) = 1.0;
+  link(1, 0) = 3.0;
+  const Platform p({1.0, 1.0}, std::move(link));
+  EXPECT_DOUBLE_EQ(p.harmonic_mean_link(), 2.0 / (1.0 + 1.0 / 3.0));
+}
+
+// ------------------------------------------------- the paper's platform
+
+TEST(PaperPlatform, CompositionMatchesSection52) {
+  const Platform p = make_paper_platform();
+  ASSERT_EQ(p.num_processors(), 10);
+  int six = 0, ten = 0, fifteen = 0;
+  for (ProcId q = 0; q < 10; ++q) {
+    if (p.cycle_time(q) == 6.0) ++six;
+    if (p.cycle_time(q) == 10.0) ++ten;
+    if (p.cycle_time(q) == 15.0) ++fifteen;
+    for (ProcId r = 0; r < 10; ++r) {
+      EXPECT_DOUBLE_EQ(p.link(q, r), q == r ? 0.0 : 1.0);
+    }
+  }
+  EXPECT_EQ(six, 5);
+  EXPECT_EQ(ten, 3);
+  EXPECT_EQ(fifteen, 2);
+}
+
+TEST(PaperPlatform, AggregateSpeedAndBounds) {
+  const Platform p = make_paper_platform();
+  EXPECT_NEAR(p.aggregate_speed(), 38.0 / 30.0, 1e-12);
+  // Speedup cap 228/30 = 7.6 (§5.2).
+  EXPECT_NEAR(speedup_upper_bound(p), 7.6, 1e-12);
+  // Perfect-balance chunk B = 38 (§5.2).
+  EXPECT_EQ(perfect_balance_chunk(p), 38);
+}
+
+// ------------------------------------------------- load balancing
+
+TEST(LoadBalance, FractionsSumToOne) {
+  const Platform p = make_paper_platform();
+  const std::vector<double> c = balanced_fractions(p);
+  double sum = 0.0;
+  for (const double f : c) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Faster processors get larger fractions.
+  EXPECT_GT(c[0], c[5]);
+  EXPECT_GT(c[5], c[8]);
+}
+
+TEST(LoadBalance, PaperDistributionOf38Tasks) {
+  const Platform p = make_paper_platform();
+  const std::vector<int> counts = optimal_distribution(p, 38);
+  // 5 each for the cycle-6 processors, 3 each for cycle-10, 2 for cycle-15.
+  const std::vector<int> expected = {5, 5, 5, 5, 5, 3, 3, 3, 2, 2};
+  EXPECT_EQ(counts, expected);
+  EXPECT_DOUBLE_EQ(distribution_makespan(p, counts), 30.0);
+}
+
+TEST(LoadBalance, DistributionSumsToN) {
+  const Platform p = make_paper_platform();
+  for (const int n : {0, 1, 7, 37, 39, 100}) {
+    const std::vector<int> counts = optimal_distribution(p, n);
+    int total = 0;
+    for (const int c : counts) total += c;
+    EXPECT_EQ(total, n) << "n=" << n;
+  }
+}
+
+/// Exhaustive optimality check on a small platform: the greedy
+/// distribution minimizes max_i t_i * n_i over all integer splits.
+TEST(LoadBalance, DistributionIsOptimalSmall) {
+  const Platform p({1.0, 2.0, 3.0}, 1.0);
+  for (int n = 0; n <= 12; ++n) {
+    const double greedy =
+        distribution_makespan(p, optimal_distribution(p, n));
+    double best = 1e100;
+    for (int i = 0; i <= n; ++i) {
+      for (int j = 0; i + j <= n; ++j) {
+        const int k = n - i - j;
+        best = std::min(best, distribution_makespan(p, {i, j, k}));
+      }
+    }
+    EXPECT_DOUBLE_EQ(greedy, best) << "n=" << n;
+  }
+}
+
+TEST(LoadBalance, PerfectChunkRequiresIntegerCycleTimes) {
+  const Platform p({1.5, 2.0}, 1.0);
+  EXPECT_THROW((void)perfect_balance_chunk(p), std::invalid_argument);
+}
+
+TEST(LoadBalance, RejectsNegativeN) {
+  const Platform p = make_paper_platform();
+  EXPECT_THROW(optimal_distribution(p, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oneport

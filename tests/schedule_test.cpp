@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hpp"
+
+namespace oneport {
+namespace {
+
+TEST(Schedule, PlaceAndQuery) {
+  Schedule s(3);
+  EXPECT_FALSE(s.complete());
+  s.place_task(0, 1, 0.0, 2.0);
+  s.place_task(1, 0, 1.0, 4.0);
+  s.place_task(2, 1, 2.0, 3.0);
+  EXPECT_TRUE(s.complete());
+  EXPECT_EQ(s.task(1).proc, 0);
+  EXPECT_DOUBLE_EQ(s.task(1).finish, 4.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 4.0);
+}
+
+TEST(Schedule, RejectsDoublePlacementAndBadArgs) {
+  Schedule s(2);
+  s.place_task(0, 0, 0.0, 1.0);
+  EXPECT_THROW(s.place_task(0, 1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.place_task(5, 0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.place_task(1, -1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.place_task(1, 0, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Schedule, CommValidation) {
+  Schedule s(2);
+  s.add_comm({0, 1, 0, 1, 0.0, 3.0});
+  EXPECT_EQ(s.num_comms(), 1u);
+  EXPECT_THROW(s.add_comm({0, 9, 0, 1, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(s.add_comm({0, 1, 0, 0, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(s.add_comm({0, 1, 0, 1, 2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Schedule, MakespanIncludesComms) {
+  Schedule s(2);
+  s.place_task(0, 0, 0.0, 1.0);
+  s.place_task(1, 1, 0.0, 1.0);
+  s.add_comm({0, 1, 0, 1, 1.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.makespan(), 9.0);
+}
+
+TEST(Schedule, EmptyMakespanIsZero) {
+  const Schedule s(0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(TaskPlacement, PlacedFlag) {
+  TaskPlacement t;
+  EXPECT_FALSE(t.placed());
+  t.proc = 0;
+  EXPECT_TRUE(t.placed());
+}
+
+}  // namespace
+}  // namespace oneport

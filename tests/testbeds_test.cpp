@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_algorithms.hpp"
+#include "testbeds/registry.hpp"
+#include "testbeds/testbeds.hpp"
+
+namespace oneport::testbeds {
+namespace {
+
+TEST(ForkJoin, Structure) {
+  const TaskGraph g = make_fork_join(5, 10.0);
+  EXPECT_EQ(g.num_tasks(), 7u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7.0);
+  // data = c * w(src) = 10 on every edge.
+  for (TaskId u = 0; u < g.num_tasks(); ++u) {
+    for (const EdgeRef& e : g.successors(u)) {
+      EXPECT_DOUBLE_EQ(e.data, 10.0);
+    }
+  }
+}
+
+TEST(Fork, CustomWeightsAndData) {
+  const TaskGraph g = make_fork(2.0, {1.0, 3.0}, {4.0, 5.0});
+  EXPECT_EQ(g.num_tasks(), 3u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_data(0, 2), 5.0);
+  EXPECT_THROW(make_fork(1.0, {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Lu, StructureAndWeights) {
+  const int n = 6;
+  const TaskGraph g = make_lu(n, 10.0);
+  // n(n-1)/2 tasks.
+  EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(n * (n - 1) / 2));
+  // Level k has n-k tasks of weight n-k; entries are exactly level 1.
+  const auto levels = iso_levels(g);
+  std::vector<int> level_count(static_cast<std::size_t>(n), 0);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const int k = levels[v] + 1;  // iso level 0 == paper level 1
+    ++level_count[static_cast<std::size_t>(k)];
+    EXPECT_DOUBLE_EQ(g.weight(v), n - k) << "task " << v;
+  }
+  for (int k = 1; k < n; ++k) {
+    EXPECT_EQ(level_count[static_cast<std::size_t>(k)], n - k);
+  }
+  // Bounded degrees: the one-port-friendly reconstruction (see lu.cpp).
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_LE(g.out_degree(v), 2u);
+    EXPECT_LE(g.in_degree(v), 2u);
+  }
+}
+
+TEST(Lu, EdgeDataProportionalToSourceWeight) {
+  const TaskGraph g = make_lu(5, 10.0);
+  for (TaskId u = 0; u < g.num_tasks(); ++u) {
+    for (const EdgeRef& e : g.successors(u)) {
+      EXPECT_DOUBLE_EQ(e.data, 10.0 * g.weight(u));
+    }
+  }
+}
+
+TEST(Doolittle, WeightsGrowWithLevel) {
+  const int n = 6;
+  const TaskGraph g = make_doolittle(n, 10.0);
+  EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(n * (n - 1) / 2));
+  const auto levels = iso_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(g.weight(v), levels[v] + 1);
+  }
+}
+
+TEST(Ldmt, TwoCoupledMeshes) {
+  const int n = 6;
+  const TaskGraph g = make_ldmt(n, 10.0);
+  EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(n * (n - 1)));
+  const auto levels = iso_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(g.weight(v), levels[v] + 1);
+    EXPECT_LE(g.out_degree(v), 3u);  // mesh edges + diagonal coupling
+  }
+  // The coupling makes the two sweeps depend on each other: a single
+  // connected component (checked via one entry level of 2(n-1) tasks).
+  EXPECT_EQ(g.entry_tasks().size(), static_cast<std::size_t>(2 * (n - 1)));
+}
+
+TEST(Laplace, DiamondStructure) {
+  const int n = 5;
+  const TaskGraph g = make_laplace(n, 10.0);
+  EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(n * n));
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(2 * n * (n - 1)));
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Laplace, EveryNodeOnACriticalPath) {
+  // The paper: "all nodes are on a critical path" for LAPLACE.
+  const int n = 6;
+  const TaskGraph g = make_laplace(n, 10.0);
+  const auto bl = bottom_levels(g, 1.0, 1.0);
+  const auto tl = top_levels(g, 1.0, 1.0);
+  const double cp = bl[g.entry_tasks().front()];
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_NEAR(tl[v] + bl[v], cp, 1e-9) << "task " << v;
+  }
+}
+
+TEST(Stencil, ThreePointDependences) {
+  const int n = 5;
+  const TaskGraph g = make_stencil(n, 10.0);
+  EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(n * n));
+  // Interior tasks have 3 parents, border tasks 2; row 0 none.
+  for (int j = 0; j < n; ++j) {
+    EXPECT_EQ(g.in_degree(static_cast<TaskId>(j)), 0u);
+  }
+  EXPECT_EQ(g.in_degree(static_cast<TaskId>(n + 2)), 3u);  // (1,2) interior
+  EXPECT_EQ(g.in_degree(static_cast<TaskId>(n)), 2u);      // (1,0) border
+  EXPECT_EQ(g.entry_tasks().size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(g.exit_tasks().size(), static_cast<std::size_t>(n));
+}
+
+TEST(Generators, RejectDegenerateSizes) {
+  EXPECT_THROW(make_fork_join(0), std::invalid_argument);
+  EXPECT_THROW(make_lu(1), std::invalid_argument);
+  EXPECT_THROW(make_ldmt(1), std::invalid_argument);
+  EXPECT_THROW(make_laplace(0), std::invalid_argument);
+  EXPECT_THROW(make_stencil(0), std::invalid_argument);
+  EXPECT_THROW(make_lu(5, -1.0), std::invalid_argument);
+}
+
+TEST(RandomDag, DeterministicPerSeed) {
+  RandomDagOptions options;
+  options.seed = 11;
+  const TaskGraph a = make_random_layered(options);
+  const TaskGraph b = make_random_layered(options);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(a.weight(v), b.weight(v));
+  }
+  options.seed = 12;
+  const TaskGraph c = make_random_layered(options);
+  EXPECT_TRUE(c.num_tasks() != a.num_tasks() ||
+              c.num_edges() != a.num_edges());
+}
+
+TEST(RandomDag, RespectsBounds) {
+  RandomDagOptions options;
+  options.layers = 12;
+  options.max_width = 4;
+  options.max_in_degree = 2;
+  options.seed = 3;
+  const TaskGraph g = make_random_layered(options);
+  EXPECT_LE(g.num_tasks(), 12u * 4u);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_LE(g.in_degree(v), 2u);
+    EXPECT_GE(g.weight(v), options.w_lo);
+    EXPECT_LT(g.weight(v), options.w_hi);
+  }
+}
+
+TEST(Registry, FindsAllSixKernels) {
+  const auto all = paper_testbeds();
+  ASSERT_EQ(all.size(), 6u);
+  for (const auto& entry : all) {
+    const TaskGraph g = entry.make(6, 10.0);
+    EXPECT_GT(g.num_tasks(), 0u) << entry.name;
+    EXPECT_GT(entry.paper_best_b, 0) << entry.name;
+  }
+  EXPECT_EQ(find_testbed("LU").paper_best_b, 4);
+  EXPECT_EQ(find_testbed("STENCIL").paper_best_b, 38);
+  EXPECT_THROW(find_testbed("NOPE"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oneport::testbeds

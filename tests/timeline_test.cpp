@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "sched/timeline.hpp"
+#include "util/rng.hpp"
+
+namespace oneport {
+namespace {
+
+TEST(Timeline, EmptyFitsAnywhere) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.next_fit(3.5, 5.0), 3.5);
+  EXPECT_DOUBLE_EQ(t.horizon(), 0.0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Timeline, FitsIntoExactGap) {
+  Timeline t;
+  t.reserve(0.0, 2.0);
+  t.reserve(5.0, 8.0);
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 3.0), 2.0);  // the [2,5) hole
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 4.0), 8.0);  // too big -> after the end
+  EXPECT_DOUBLE_EQ(t.next_fit(6.0, 1.0), 8.0);  // ready inside a busy slot
+  EXPECT_DOUBLE_EQ(t.next_fit(2.0, 2.0), 2.0);
+}
+
+TEST(Timeline, ZeroDurationAlwaysFits) {
+  Timeline t;
+  t.reserve(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.next_fit(4.0, 0.0), 4.0);
+}
+
+TEST(Timeline, ReserveRejectsOverlap) {
+  Timeline t;
+  t.reserve(0.0, 2.0);
+  EXPECT_THROW(t.reserve(1.0, 3.0), std::logic_error);
+  EXPECT_THROW(t.reserve(-1.0, 0.5), std::logic_error);
+  EXPECT_NO_THROW(t.reserve(2.0, 3.0));  // touching is fine
+}
+
+TEST(Timeline, ReserveMergesTouchingIntervals) {
+  Timeline t;
+  t.reserve(0.0, 1.0);
+  t.reserve(2.0, 3.0);
+  t.reserve(1.0, 2.0);  // bridges both neighbours
+  ASSERT_EQ(t.busy().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.busy()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(t.busy()[0].end, 3.0);
+  EXPECT_DOUBLE_EQ(t.busy_time(), 3.0);
+}
+
+TEST(Timeline, IsFree) {
+  Timeline t;
+  t.reserve(2.0, 4.0);
+  EXPECT_TRUE(t.is_free(0.0, 2.0));
+  EXPECT_TRUE(t.is_free(4.0, 9.0));
+  EXPECT_FALSE(t.is_free(3.0, 5.0));
+  EXPECT_FALSE(t.is_free(1.0, 3.0));
+  EXPECT_TRUE(t.is_free(3.0, 3.0));  // degenerate
+}
+
+TEST(Timeline, NextFitRejectsNegativeDuration) {
+  Timeline t;
+  EXPECT_THROW((void)t.next_fit(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Interval, OverlapSemantics) {
+  EXPECT_TRUE(overlaps({0.0, 2.0}, {1.0, 3.0}));
+  EXPECT_FALSE(overlaps({0.0, 2.0}, {2.0, 3.0}));  // touching
+  EXPECT_FALSE(overlaps({0.0, 2.0}, {5.0, 6.0}));
+  EXPECT_FALSE(overlaps({1.0, 1.0}, {0.0, 9.0}));  // degenerate
+}
+
+// --------------------------------------------------------- overlays
+
+TEST(TimelineOverlay, SeesBaseAndExtras) {
+  Timeline base;
+  base.reserve(0.0, 2.0);
+  TimelineOverlay overlay(base);
+  overlay.add(3.0, 5.0);
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 1.0), 2.0);  // the [2,3) hole
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 2.0), 5.0);  // hole too small
+  EXPECT_DOUBLE_EQ(overlay.next_fit(4.0, 1.0), 5.0);
+}
+
+TEST(TimelineOverlay, ExtrasDoNotMutateBase) {
+  Timeline base;
+  TimelineOverlay overlay(base);
+  overlay.add(0.0, 4.0);
+  EXPECT_TRUE(base.empty());
+  EXPECT_DOUBLE_EQ(base.next_fit(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 1.0), 4.0);
+}
+
+TEST(TimelineOverlay, UnsortedAddsHandled) {
+  Timeline base;
+  TimelineOverlay overlay(base);
+  overlay.add(6.0, 8.0);
+  overlay.add(0.0, 2.0);
+  overlay.add(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 2.0), 4.0);  // between 4 and 6
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 3.0), 8.0);
+}
+
+// --------------------------------------------------------- joint fit
+
+TEST(JointFit, BothFreeImmediately) {
+  Timeline a, b;
+  TimelineOverlay oa(a), ob(b);
+  EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 1.0, 2.0), 1.0);
+}
+
+TEST(JointFit, AlternatingBusySlots) {
+  // a busy [0,2), b busy [2,4): the first joint 1-slot is at 4.
+  Timeline a, b;
+  a.reserve(0.0, 2.0);
+  b.reserve(2.0, 4.0);
+  TimelineOverlay oa(a), ob(b);
+  EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 0.0, 1.0), 4.0);
+}
+
+TEST(JointFit, FindsSharedHole) {
+  Timeline a, b;
+  a.reserve(0.0, 1.0);
+  a.reserve(4.0, 6.0);
+  b.reserve(0.0, 2.0);
+  b.reserve(5.0, 7.0);
+  TimelineOverlay oa(a), ob(b);
+  // Shared holes: [2,4) then [7,inf); a 2-slot fits at 2.
+  EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 0.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 0.0, 3.0), 7.0);
+}
+
+TEST(JointFit, ZeroDuration) {
+  Timeline a, b;
+  a.reserve(0.0, 5.0);
+  TimelineOverlay oa(a), ob(b);
+  EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 3.0, 0.0), 3.0);
+}
+
+// --------------------------------------------------------- properties
+
+class TimelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// next_fit always returns a slot that reserve() accepts, for arbitrary
+/// reservation sequences.
+TEST_P(TimelinePropertyTest, NextFitSlotsAreAlwaysReservable) {
+  SplitMix64 rng(GetParam());
+  Timeline t;
+  double total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double ready = rng.uniform(0.0, 50.0);
+    const double duration = rng.uniform(0.0, 5.0);
+    const double start = t.next_fit(ready, duration);
+    EXPECT_GE(start, ready);
+    EXPECT_TRUE(t.is_free(start, start + duration));
+    ASSERT_NO_THROW(t.reserve(start, start + duration));
+    total += duration;
+  }
+  EXPECT_NEAR(t.busy_time(), total, 1e-6);
+}
+
+/// Busy intervals stay sorted and disjoint.
+TEST_P(TimelinePropertyTest, InvariantSortedDisjoint) {
+  SplitMix64 rng(GetParam() + 1000);
+  Timeline t;
+  for (int i = 0; i < 150; ++i) {
+    const double duration = rng.uniform(0.1, 3.0);
+    const double start = t.next_fit(rng.uniform(0.0, 100.0), duration);
+    t.reserve(start, start + duration);
+  }
+  const auto busy = t.busy();
+  for (std::size_t i = 1; i < busy.size(); ++i) {
+    EXPECT_GE(busy[i].start, busy[i - 1].end - kTimeEps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+}  // namespace
+}  // namespace oneport

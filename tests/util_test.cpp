@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace oneport {
+namespace {
+
+// ------------------------------------------------------------ Matrix
+
+TEST(Matrix, StoresAndRetrieves) {
+  Matrix<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW((void)m(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)m(0, 2), std::invalid_argument);
+}
+
+TEST(Matrix, EqualityIsElementwise) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<double> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+// ------------------------------------------------------------ csv::Table
+
+TEST(CsvTable, RejectsEmptyHeaderAndWrongArity) {
+  EXPECT_THROW(csv::Table({}), std::invalid_argument);
+  csv::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvTable, WritesCsv) {
+  csv::Table t({"n", "ratio"});
+  t.add_row({"100", "4.5"});
+  t.add_row({"200", "4.8"});
+  std::ostringstream oss;
+  t.write_csv(oss);
+  EXPECT_EQ(oss.str(), "n,ratio\n100,4.5\n200,4.8\n");
+}
+
+TEST(CsvTable, PrettyAlignsColumns) {
+  csv::Table t({"name", "x"});
+  t.add_row({"long-name-here", "1"});
+  std::ostringstream oss;
+  t.write_pretty(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("long-name-here"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(csv::format_number(4.0), "4");
+  EXPECT_EQ(csv::format_number(4.5), "4.5");
+  EXPECT_EQ(csv::format_number(4.126, 2), "4.13");
+  EXPECT_EQ(csv::format_number(-0.5), "-0.5");
+}
+
+// ------------------------------------------------------------ SplitMix64
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  SplitMix64 a2(42);
+  EXPECT_NE(a2(), c());
+}
+
+TEST(SplitMix64, Uniform01InRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(SplitMix64, BelowRespectsBound) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(SplitMix64, BelowCoversRange) {
+  SplitMix64 rng(1);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 500; ++i) ++seen[rng.below(5)];
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+// ------------------------------------------------------------ Args
+
+TEST(Args, ParsesOptionsAndPositionals) {
+  const char* argv[] = {"prog", "--n=42", "--flag", "pos1", "--x=1.5"};
+  const Args args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 1.5);
+  EXPECT_EQ(args.get("absent", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+// ------------------------------------------------------------ error helpers
+
+TEST(Error, RequireAndEnsureThrow) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "bad"), std::invalid_argument);
+  EXPECT_NO_THROW(ensure(true, "ok"));
+  EXPECT_THROW(ensure(false, "bad"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace oneport
