@@ -7,10 +7,13 @@
 // This binary regenerates both numbers and the optimal distribution that
 // realizes them.
 #include <iostream>
+#include <string>
+#include <utility>
 
 #include "platform/load_balance.hpp"
 #include "platform/platform.hpp"
 #include "util/csv.hpp"
+#include "util/strings.hpp"
 
 using namespace oneport;
 
@@ -22,7 +25,7 @@ int main() {
   csv::Table procs({"processor", "cycle_time", "balanced_fraction"});
   const std::vector<double> fractions = balanced_fractions(platform);
   for (ProcId p = 0; p < platform.num_processors(); ++p) {
-    procs.add_row({"P" + std::to_string(p),
+    procs.add_row({indexed_name("P", static_cast<std::size_t>(p)),
                    csv::format_number(platform.cycle_time(p)),
                    csv::format_number(
                        fractions[static_cast<std::size_t>(p)], 4)});

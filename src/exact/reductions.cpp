@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <utility>
 
 #include "exact/two_partition.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace oneport::exact {
 
@@ -97,7 +100,7 @@ CommSchedInstance make_comm_sched_instance(
   TaskGraph g;
   const TaskId v0 = g.add_task(0.0, "v0");
   for (std::size_t i = 1; i <= 3 * n; ++i) {
-    g.add_task(0.0, "v" + std::to_string(i));
+    g.add_task(0.0, indexed_name("v", i));
   }
   for (std::size_t i = 1; i <= n; ++i) {
     g.add_edge(v0, static_cast<TaskId>(i),

@@ -1,6 +1,9 @@
 #include "testbeds/testbeds.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace oneport::testbeds {
 
@@ -13,8 +16,7 @@ TaskGraph make_fork(double parent_weight,
   TaskGraph g;
   const TaskId parent = g.add_task(parent_weight, "v0");
   for (std::size_t i = 0; i < child_weights.size(); ++i) {
-    const TaskId child =
-        g.add_task(child_weights[i], "v" + std::to_string(i + 1));
+    const TaskId child = g.add_task(child_weights[i], indexed_name("v", i + 1));
     g.add_edge(parent, child, child_data[i]);
   }
   g.finalize();

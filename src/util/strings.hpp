@@ -1,0 +1,19 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace oneport {
+
+/// "P" + 3 -> "P3".  Built via += rather than operator+(const char*,
+/// std::string&&) to sidestep a GCC 12 -Wrestrict false positive at -O2
+/// (GCC PR 105329).
+[[nodiscard]] inline std::string indexed_name(const char* prefix,
+                                              std::size_t index) {
+  std::string name = prefix;
+  name += std::to_string(index);
+  return name;
+}
+
+}  // namespace oneport

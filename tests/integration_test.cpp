@@ -61,10 +61,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(12, 25),
         ::testing::Values("heft-macro", "heft-oneport", "ilha-macro",
                           "ilha-oneport", "cpop-macro", "cpop-oneport")),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      std::string name = std::get<0>(info.param) + "_n" +
-                         std::to_string(std::get<1>(info.param)) + "_" +
-                         std::get<2>(info.param);
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_n" +
+                         std::to_string(std::get<1>(param_info.param)) + "_" +
+                         std::get<2>(param_info.param);
       for (char& c : name) {
         if (c == '-') c = '_';
       }

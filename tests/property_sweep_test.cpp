@@ -1,0 +1,86 @@
+// Property sweep: every registered heuristic, under both communication
+// models, over seeded random DAG x platform scenarios plus hand-picked
+// degenerate workloads.  Each (scenario, scheduler) pair is pushed
+// through the full invariant battery of tests/support/invariants.hpp:
+// validation, makespan lower bounds, replay dominance, serialize
+// round-trip, and communication bounds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sched/replay.hpp"
+#include "support/invariants.hpp"
+#include "support/scenario.hpp"
+
+namespace oneport {
+namespace {
+
+using testsupport::Scenario;
+using testsupport::check_all_invariants;
+
+/// The registry names one-port variants "<name>-oneport"; everything else
+/// is scheduled (and must be validated) under the macro-dataflow rules.
+CommModel model_of(const SchedulerEntry& entry) {
+  return entry.name.find("oneport") != std::string::npos
+             ? CommModel::kOnePort
+             : CommModel::kMacroDataflow;
+}
+
+// A small chunk size exercises ILHA's load-balancing quota far more
+// than the paper's default of 38 on these small DAGs.
+const std::vector<SchedulerEntry>& registry() {
+  static const std::vector<SchedulerEntry> entries =
+      builtin_schedulers(/*ilha_chunk_size=*/5);
+  return entries;
+}
+
+void sweep_scenario(const Scenario& scenario) {
+  for (const SchedulerEntry& entry : registry()) {
+    SCOPED_TRACE(scenario.description + " scheduler=" + entry.name);
+    const Schedule schedule = entry.run(scenario.graph, scenario.platform);
+    const std::vector<std::string> violations =
+        check_all_invariants(scenario, schedule, model_of(entry));
+    for (const std::string& v : violations) ADD_FAILURE() << v;
+  }
+}
+
+class PropertySweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySweepTest, AllHeuristicsSatisfyAllInvariants) {
+  const std::uint64_t base = GetParam();
+  for (const Scenario& scenario : testsupport::scenario_sweep(base, 6)) {
+    sweep_scenario(scenario);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepTest,
+                         ::testing::Values<std::uint64_t>(101, 211, 307, 401,
+                                                          503, 601, 701));
+
+TEST(PropertySweepEdgeCases, AllHeuristicsSatisfyAllInvariants) {
+  for (const Scenario& scenario : testsupport::edge_case_scenarios()) {
+    sweep_scenario(scenario);
+  }
+}
+
+// Cross-model dominance: for one fixed heuristic (HEFT), relaxing its
+// one-port schedule to macro-dataflow rules via replay can only shrink
+// the makespan -- the quantified version of "the one-port model is the
+// pessimistic one" (§2.3), checked per scenario rather than per run.
+TEST(PropertySweepModels, OnePortRelaxationNeverHurts) {
+  const SchedulerEntry heft = find_scheduler("heft-oneport");
+  for (const Scenario& scenario : testsupport::scenario_sweep(4242, 12)) {
+    const Schedule one_port = heft.run(scenario.graph, scenario.platform);
+    const Schedule relaxed =
+        asap_replay(one_port, scenario.graph, scenario.platform,
+                    CommModel::kMacroDataflow);
+    EXPECT_LE(relaxed.makespan(), one_port.makespan() + 1e-7)
+        << scenario.description;
+  }
+}
+
+}  // namespace
+}  // namespace oneport

@@ -1,0 +1,241 @@
+#include "support/invariants.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sched/interval.hpp"
+#include "sched/serialize.hpp"
+#include "sched/validate.hpp"
+
+namespace oneport::testsupport {
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> check_valid(const Scenario& scenario,
+                                     const Schedule& schedule,
+                                     CommModel model) {
+  std::vector<std::string> errors;
+  if (schedule.num_tasks() != scenario.graph.num_tasks()) {
+    errors.push_back("schedule has " + std::to_string(schedule.num_tasks()) +
+                     " tasks, graph has " +
+                     std::to_string(scenario.graph.num_tasks()));
+    return errors;
+  }
+  if (!schedule.complete()) {
+    errors.push_back("schedule is incomplete (unplaced tasks)");
+    return errors;
+  }
+  const ValidationResult check =
+      model == CommModel::kOnePort
+          ? validate_one_port(schedule, scenario.graph, scenario.platform)
+          : validate_macro_dataflow(schedule, scenario.graph,
+                                    scenario.platform);
+  for (const std::string& e : check.errors) errors.push_back(e);
+  return errors;
+}
+
+std::vector<std::string> check_makespan_lower_bounds(const Scenario& scenario,
+                                                     const Schedule& schedule) {
+  std::vector<std::string> errors;
+  const TaskGraph& g = scenario.graph;
+  const Platform& p = scenario.platform;
+  const double makespan = schedule.makespan();
+
+  double min_cycle = p.cycle_time(0);
+  for (ProcId q = 1; q < p.num_processors(); ++q) {
+    min_cycle = std::min(min_cycle, p.cycle_time(q));
+  }
+
+  // (a) heaviest task on the fastest processor.
+  double heaviest = 0.0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    heaviest = std::max(heaviest, g.weight(v));
+  }
+  const double single_task_bound = heaviest * min_cycle;
+
+  // (b) perfectly divisible work over the aggregate speed.
+  const double area_bound = g.total_weight() / p.aggregate_speed();
+
+  // (c) communication-free critical path, every task on the fastest
+  // processor -- a relaxation of any legal execution.
+  std::vector<double> done(g.num_tasks(), 0.0);
+  double cp_bound = 0.0;
+  for (const TaskId v : g.topological_order()) {
+    double ready = 0.0;
+    for (const EdgeRef& in : g.predecessors(v)) {
+      ready = std::max(ready, done[in.task]);
+    }
+    done[v] = ready + g.weight(v) * min_cycle;
+    cp_bound = std::max(cp_bound, done[v]);
+  }
+
+  const struct {
+    const char* name;
+    double bound;
+  } bounds[] = {{"single-task", single_task_bound},
+                {"area", area_bound},
+                {"critical-path", cp_bound}};
+  for (const auto& b : bounds) {
+    if (makespan < b.bound - kTimeEps) {
+      errors.push_back(std::string("makespan ") + fmt(makespan) +
+                       " beats the " + b.name + " lower bound " +
+                       fmt(b.bound));
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> check_replay_dominance(const Scenario& scenario,
+                                                const Schedule& schedule,
+                                                CommModel model) {
+  std::vector<std::string> errors;
+  const double makespan = schedule.makespan();
+
+  const Schedule same =
+      asap_replay(schedule, scenario.graph, scenario.platform, model);
+  if (same.makespan() > makespan + kTimeEps) {
+    errors.push_back("ASAP replay under the same model worsened the "
+                     "makespan: " +
+                     fmt(makespan) + " -> " + fmt(same.makespan()));
+  }
+
+  if (model == CommModel::kOnePort) {
+    // Macro-dataflow drops the port constraints, so replaying the same
+    // decisions under the relaxed rules can only help.
+    const Schedule relaxed = asap_replay(schedule, scenario.graph,
+                                         scenario.platform,
+                                         CommModel::kMacroDataflow);
+    if (relaxed.makespan() > makespan + kTimeEps) {
+      errors.push_back("macro-dataflow relaxation worsened the makespan: " +
+                       fmt(makespan) + " -> " + fmt(relaxed.makespan()));
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> check_serialize_round_trip(const Scenario& scenario,
+                                                    const Schedule& schedule,
+                                                    CommModel model) {
+  std::vector<std::string> errors;
+
+  std::stringstream graph_io;
+  write_task_graph(graph_io, scenario.graph);
+  TaskGraph graph2;
+  try {
+    graph2 = read_task_graph(graph_io);
+  } catch (const std::exception& e) {
+    errors.push_back(std::string("graph round-trip failed to parse: ") +
+                     e.what());
+    return errors;
+  }
+  if (graph2.num_tasks() != scenario.graph.num_tasks() ||
+      graph2.num_edges() != scenario.graph.num_edges()) {
+    errors.push_back("graph round-trip changed the shape");
+    return errors;
+  }
+  for (TaskId v = 0; v < scenario.graph.num_tasks(); ++v) {
+    if (graph2.weight(v) != scenario.graph.weight(v)) {
+      errors.push_back("graph round-trip changed weight of task " +
+                       std::to_string(v));
+    }
+    for (const EdgeRef& out : scenario.graph.successors(v)) {
+      if (!graph2.has_edge(v, out.task) ||
+          graph2.edge_data(v, out.task) != out.data) {
+        errors.push_back("graph round-trip lost or changed edge " +
+                         std::to_string(v) + "->" + std::to_string(out.task));
+      }
+    }
+  }
+
+  std::stringstream sched_io;
+  write_schedule(sched_io, schedule);
+  Schedule schedule2;
+  try {
+    schedule2 = read_schedule(sched_io);
+  } catch (const std::exception& e) {
+    errors.push_back(std::string("schedule round-trip failed to parse: ") +
+                     e.what());
+    return errors;
+  }
+  if (schedule2.tasks() != schedule.tasks() ||
+      schedule2.comms() != schedule.comms()) {
+    errors.push_back("schedule round-trip is not bit-exact");
+  }
+  // The reread schedule must still pass the independent validator against
+  // the reread graph.
+  const ValidationResult check =
+      model == CommModel::kOnePort
+          ? validate_one_port(schedule2, graph2, scenario.platform)
+          : validate_macro_dataflow(schedule2, graph2, scenario.platform);
+  if (!check.ok()) {
+    errors.push_back("reread schedule fails validation:\n" + check.message());
+  }
+  return errors;
+}
+
+std::vector<std::string> check_comm_bounds(const Scenario& scenario,
+                                           const Schedule& schedule) {
+  std::vector<std::string> errors;
+  const TaskGraph& g = scenario.graph;
+
+  if (schedule.num_comms() > g.num_edges()) {
+    errors.push_back("more messages (" + std::to_string(schedule.num_comms()) +
+                     ") than edges (" + std::to_string(g.num_edges()) + ")");
+  }
+  if (scenario.platform.num_processors() == 1 && schedule.num_comms() != 0) {
+    errors.push_back("messages on a single-processor platform");
+  }
+  std::set<std::pair<TaskId, TaskId>> seen;
+  for (const CommPlacement& c : schedule.comms()) {
+    if (c.src >= g.num_tasks() || c.dst >= g.num_tasks() ||
+        !g.has_edge(c.src, c.dst)) {
+      errors.push_back("message for non-edge " + std::to_string(c.src) +
+                       "->" + std::to_string(c.dst));
+      continue;
+    }
+    if (!seen.insert({c.src, c.dst}).second) {
+      errors.push_back("duplicate message for edge " + std::to_string(c.src) +
+                       "->" + std::to_string(c.dst));
+    }
+    if (schedule.task(c.src).proc == schedule.task(c.dst).proc) {
+      errors.push_back("message for co-located edge " + std::to_string(c.src) +
+                       "->" + std::to_string(c.dst));
+    }
+  }
+  return errors;
+}
+
+std::vector<std::string> check_all_invariants(const Scenario& scenario,
+                                              const Schedule& schedule,
+                                              CommModel model) {
+  std::vector<std::string> all;
+  const auto absorb = [&](const char* property,
+                          std::vector<std::string> errors) {
+    for (std::string& e : errors) {
+      all.push_back(scenario.description + " [" + property + "] " +
+                    std::move(e));
+    }
+  };
+  absorb("P1/valid", check_valid(scenario, schedule, model));
+  if (!all.empty()) return all;  // downstream checks assume validity
+  absorb("P2/lower-bounds", check_makespan_lower_bounds(scenario, schedule));
+  absorb("P3/replay", check_replay_dominance(scenario, schedule, model));
+  absorb("P4/serialize",
+         check_serialize_round_trip(scenario, schedule, model));
+  absorb("P5/comm-bounds", check_comm_bounds(scenario, schedule));
+  return all;
+}
+
+}  // namespace oneport::testsupport

@@ -1,0 +1,152 @@
+#include "support/scenario.hpp"
+
+#include <utility>
+
+#include "testbeds/testbeds.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace oneport::testsupport {
+
+Platform random_platform(std::uint64_t seed, const ScenarioOptions& options) {
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  const int span = options.max_processors - options.min_processors + 1;
+  const int p = options.min_processors +
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(span)));
+  std::vector<double> cycle(static_cast<std::size_t>(p));
+  for (double& t : cycle) t = rng.uniform(options.cycle_lo, options.cycle_hi);
+
+  if (rng.uniform01() < options.uniform_link_probability) {
+    return Platform(std::move(cycle),
+                    rng.uniform(options.link_lo, options.link_hi));
+  }
+  Matrix<double> link(static_cast<std::size_t>(p), static_cast<std::size_t>(p),
+                      0.0);
+  for (int q = 0; q < p; ++q) {
+    for (int r = 0; r < p; ++r) {
+      if (q != r) {
+        link(static_cast<std::size_t>(q), static_cast<std::size_t>(r)) =
+            rng.uniform(options.link_lo, options.link_hi);
+      }
+    }
+  }
+  return Platform(std::move(cycle), std::move(link));
+}
+
+TaskGraph random_graph(std::uint64_t seed, const ScenarioOptions& options) {
+  SplitMix64 rng(seed * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL);
+  testbeds::RandomDagOptions dag;
+  dag.seed = seed;
+  const int layer_span = options.max_layers - options.min_layers + 1;
+  dag.layers =
+      options.min_layers +
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(layer_span)));
+  dag.max_width =
+      1 + static_cast<int>(
+              rng.below(static_cast<std::uint64_t>(options.max_width)));
+  dag.max_in_degree = options.max_in_degree;
+  dag.back_reach = 1 + static_cast<int>(rng.below(3));
+  dag.comm_ratio = rng.uniform(options.comm_lo, options.comm_hi);
+  return testbeds::make_random_layered(dag);
+}
+
+Scenario random_scenario(std::uint64_t seed, const ScenarioOptions& options) {
+  Scenario s{seed, "random/seed=" + std::to_string(seed), random_graph(seed, options),
+             random_platform(seed * 7 + 1, options)};
+  return s;
+}
+
+std::vector<Scenario> scenario_sweep(std::uint64_t base_seed, int count,
+                                     const ScenarioOptions& options) {
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    // Every fourth scenario is an edge case; which one rotates with the
+    // seed so short sweeps still cover all three variants across bases.
+    const int variant = (i % 4 == 3) ? 1 + static_cast<int>(seed % 3) : 0;
+    switch (variant) {
+      case 1: {  // single-processor platform (only the graph is random)
+        out.push_back({seed, "single-proc/seed=" + std::to_string(seed),
+                       random_graph(seed, options), Platform({2.0}, 1.0)});
+        break;
+      }
+      case 2: {  // zero-communication edges
+        ScenarioOptions zero = options;
+        zero.comm_lo = 0.0;
+        zero.comm_hi = 1e-12;
+        Scenario s = random_scenario(seed, zero);
+        s.description = "zero-comm/seed=" + std::to_string(seed);
+        out.push_back(std::move(s));
+        break;
+      }
+      case 3: {  // near-chain DAG (width 1)
+        ScenarioOptions chain = options;
+        chain.max_width = 1;
+        chain.min_layers = 6;
+        chain.max_layers = 14;
+        Scenario s = random_scenario(seed, chain);
+        s.description = "chain/seed=" + std::to_string(seed);
+        out.push_back(std::move(s));
+        break;
+      }
+      default:
+        out.push_back(random_scenario(seed, options));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Scenario> edge_case_scenarios() {
+  std::vector<Scenario> out;
+
+  {
+    TaskGraph g;
+    g.add_task(3.0, "only");
+    g.finalize();
+    out.push_back({9001, "edge/single-task", std::move(g),
+                   Platform({2.0, 1.0, 4.0}, 1.5)});
+  }
+  {
+    TaskGraph g;
+    const TaskId a = g.add_task(1.0);
+    const TaskId b = g.add_task(2.0);
+    const TaskId c = g.add_task(1.5);
+    g.add_edge(a, b, 4.0);
+    g.add_edge(b, c, 4.0);
+    g.finalize();
+    out.push_back({9002, "edge/single-proc-chain", std::move(g),
+                   Platform({3.0}, 1.0)});
+  }
+  {
+    // Fork whose edges carry no data: placements are free of comm cost.
+    TaskGraph g = testbeds::make_fork(2.0, {1.0, 1.0, 1.0, 1.0},
+                                      {0.0, 0.0, 0.0, 0.0});
+    out.push_back({9003, "edge/zero-data-fork", std::move(g),
+                   Platform({1.0, 2.0}, 5.0)});
+  }
+  {
+    TaskGraph g;
+    TaskId prev = g.add_task(1.0);
+    for (int i = 0; i < 12; ++i) {
+      const TaskId next = g.add_task(1.0 + 0.25 * i);
+      g.add_edge(prev, next, 2.0);
+      prev = next;
+    }
+    g.finalize();
+    out.push_back({9004, "edge/pure-chain", std::move(g),
+                   Platform({1.0, 1.0, 1.0, 1.0}, 2.0)});
+  }
+  {
+    // Independent tasks: no edges at all, pure load balancing.
+    TaskGraph g;
+    for (int i = 0; i < 16; ++i) g.add_task(1.0 + (i % 5));
+    g.finalize();
+    out.push_back({9005, "edge/independent-bag", std::move(g),
+                   Platform({1.0, 2.0, 3.0, 4.0}, 1.0)});
+  }
+  return out;
+}
+
+}  // namespace oneport::testsupport

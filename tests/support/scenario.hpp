@@ -1,0 +1,73 @@
+// Reusable random-scenario generation for property tests.
+//
+// A Scenario couples a finalized task graph with a platform and a short
+// human-readable tag, so a failing property can print exactly which
+// workload broke it and the run can be reproduced from the seed alone.
+// Generators are deterministic in the seed (SplitMix64 underneath) and
+// deliberately spread over the awkward corners of the input space:
+// single-processor platforms, heterogeneous link matrices, near-chain and
+// near-parallel DAGs, zero-communication edges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "platform/platform.hpp"
+
+namespace oneport::testsupport {
+
+struct ScenarioOptions {
+  // Platform shape.
+  int min_processors = 2;
+  int max_processors = 8;
+  double cycle_lo = 1.0;
+  double cycle_hi = 6.0;
+  double link_lo = 0.25;
+  double link_hi = 3.0;
+  /// Probability that the link matrix is uniform (one value for all
+  /// pairs) instead of fully heterogeneous.
+  double uniform_link_probability = 0.5;
+
+  // DAG shape (fed to testbeds::make_random_layered with jitter).
+  int min_layers = 3;
+  int max_layers = 9;
+  int max_width = 6;
+  int max_in_degree = 3;
+  double comm_lo = 0.0;  ///< comm ratios are drawn from [comm_lo, comm_hi)
+  double comm_hi = 8.0;
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  std::string description;
+  TaskGraph graph;
+  Platform platform;
+};
+
+/// Deterministic random platform; respects `options`' platform knobs.
+[[nodiscard]] Platform random_platform(std::uint64_t seed,
+                                       const ScenarioOptions& options = {});
+
+/// Deterministic random layered DAG; respects `options`' DAG knobs.
+[[nodiscard]] TaskGraph random_graph(std::uint64_t seed,
+                                     const ScenarioOptions& options = {});
+
+/// Couples random_graph and random_platform under one seed.
+[[nodiscard]] Scenario random_scenario(std::uint64_t seed,
+                                       const ScenarioOptions& options = {});
+
+/// `count` scenarios seeded base_seed, base_seed+1, ...  Every fourth
+/// scenario pins an edge case (single processor, chain DAG, or
+/// zero-communication edges) so sweeps always cover the degenerate
+/// corners regardless of `count`.
+[[nodiscard]] std::vector<Scenario> scenario_sweep(
+    std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
+
+/// Hand-picked degenerate workloads that randomized sweeps are unlikely
+/// to hit exactly: one task, one processor, an empty-communication fork,
+/// a pure chain, and a wide independent-task bag.
+[[nodiscard]] std::vector<Scenario> edge_case_scenarios();
+
+}  // namespace oneport::testsupport
