@@ -1,0 +1,151 @@
+// Scale benchmarks for the scheduling hot path (the ISSUE-2 tentpole):
+//
+//   * HEFT and ILHA on 1k/5k/10k-task random layered DAGs under both
+//     communication models, once per timeline implementation (reference
+//     sorted-vector vs gap-indexed), so the indexed timelines' win -- and
+//     any future regression -- shows up directly in the timings;
+//   * the figure-grid sweep driver run serially vs with the thread pool,
+//     so the parallel experiment runner is tracked end to end.
+//
+// Schedule makespans are exported as counters: the two timeline
+// implementations must agree bit-identically (the property sweep enforces
+// it; the counters make a violation visible from bench output too).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/heft.hpp"
+#include "core/ilha.hpp"
+#include "platform/platform.hpp"
+#include "sched/timeline.hpp"
+#include "testbeds/testbeds.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace oneport;
+
+/// Random layered DAG with roughly `n` tasks (max_width 15 averages 8
+/// tasks per layer); deterministic in `n`.
+TaskGraph make_scale_graph(int n) {
+  testbeds::RandomDagOptions opt;
+  opt.layers = n / 8;
+  opt.max_width = 15;
+  opt.max_in_degree = 3;
+  opt.back_reach = 2;
+  opt.comm_ratio = 5.0;
+  opt.seed = static_cast<std::uint64_t>(20260729 + n);
+  return testbeds::make_random_layered(opt);
+}
+
+const TaskGraph& scale_graph(int n) {
+  static std::map<int, TaskGraph>* cache = new std::map<int, TaskGraph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) it = cache->emplace(n, make_scale_graph(n)).first;
+  return it->second;
+}
+
+const Platform& paper_platform() {
+  static const Platform* platform = new Platform(make_paper_platform());
+  return *platform;
+}
+
+void register_scheduler_benchmarks() {
+  struct SchedulerCase {
+    std::string name;
+    EftEngine::Model model;
+    bool ilha;
+  };
+  const std::vector<SchedulerCase> cases = {
+      {"heft-oneport", EftEngine::Model::kOnePort, false},
+      {"ilha-oneport", EftEngine::Model::kOnePort, true},
+      {"heft-macro", EftEngine::Model::kMacroDataflow, false},
+      {"ilha-macro", EftEngine::Model::kMacroDataflow, true},
+  };
+  for (const int n : {1000, 5000, 10000}) {
+    for (const SchedulerCase& c : cases) {
+      for (const TimelineImpl impl :
+           {TimelineImpl::kGapIndexed, TimelineImpl::kReference}) {
+        const std::string name = "scale/n=" + std::to_string(n) + "/" +
+                                 c.name + "/" + timeline_impl_name(impl);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [n, c, impl](benchmark::State& state) {
+              const TaskGraph& graph = scale_graph(n);
+              const Platform& platform = paper_platform();
+              ScopedTimelineImpl guard(impl);
+              double makespan = 0.0;
+              for (auto _ : state) {
+                const Schedule s =
+                    c.ilha ? ilha(graph, platform,
+                                  {.model = c.model, .chunk_size = 38})
+                           : heft(graph, platform, {.model = c.model});
+                makespan = s.makespan();
+                benchmark::DoNotOptimize(makespan);
+              }
+              state.counters["makespan"] = makespan;
+              state.counters["tasks"] =
+                  static_cast<double>(graph.num_tasks());
+              state.counters["tasks_per_s"] = benchmark::Counter(
+                  static_cast<double>(graph.num_tasks()),
+                  benchmark::Counter::kIsIterationInvariantRate);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void register_sweep_benchmarks() {
+  // A modest figure grid: 2 testbeds x 3 sizes x 2 schedulers = 12
+  // points, the shape the figure benches sweep.
+  const std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
+      {"LU", "FORK-JOIN"}, {100, 200, 300}, {"heft-oneport", "ilha-oneport"});
+  struct DriverCase {
+    const char* name;
+    int workers;
+  };
+  const DriverCase drivers[] = {
+      {"figure-grid/serial", 1},
+      {"figure-grid/parallel", 0},  // 0 = hardware concurrency
+  };
+  for (const DriverCase& d : drivers) {
+    benchmark::RegisterBenchmark(
+        d.name,
+        // `grid` by value: the benchmark outlives this registration scope.
+        [grid, d](benchmark::State& state) {
+          double total_makespan = 0.0;
+          for (auto _ : state) {
+            const std::vector<analysis::SweepResult> results =
+                analysis::run_sweep(grid, paper_platform(),
+                                    {.workers = d.workers});
+            total_makespan = 0.0;
+            for (const analysis::SweepResult& r : results) {
+              total_makespan += r.makespan;
+            }
+            benchmark::DoNotOptimize(total_makespan);
+          }
+          state.counters["points"] = static_cast<double>(grid.size());
+          state.counters["workers"] = static_cast<double>(
+              d.workers == 0 ? ThreadPool::default_workers()
+                             : static_cast<unsigned>(d.workers));
+          state.counters["total_makespan"] = total_makespan;
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_scheduler_benchmarks();
+  register_sweep_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,18 +5,39 @@
 #include "analysis/metrics.hpp"
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
+#include "core/registry.hpp"
 #include "sched/validate.hpp"
 #include "testbeds/registry.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace oneport::analysis {
+
+namespace {
+
+/// Registry convention shared with the property sweep: "*-oneport"
+/// entries are scheduled (and must be validated) under the one-port
+/// rules, everything else under macro-dataflow.
+bool is_one_port(const std::string& scheduler_name) {
+  return scheduler_name.find("oneport") != std::string::npos;
+}
+
+unsigned resolve_workers(int workers) {
+  return workers <= 0 ? ThreadPool::default_workers()
+                      : static_cast<unsigned>(workers);
+}
+
+}  // namespace
 
 std::vector<FigureRow> run_figure(const FigureConfig& config,
                                   const Platform& platform) {
   const testbeds::TestbedEntry testbed = testbeds::find_testbed(config.testbed);
-  std::vector<FigureRow> rows;
-  rows.reserve(config.sizes.size());
-  for (const int n : config.sizes) {
+  std::vector<FigureRow> rows(config.sizes.size());
+  ThreadPool pool(resolve_workers(config.workers));
+  // Every size is an independent pure computation writing its own row, so
+  // the output is in sweep order and identical for any worker count.
+  pool.parallel_for(config.sizes.size(), [&](std::size_t i) {
+    const int n = config.sizes[i];
     const TaskGraph graph = testbed.make(n, config.comm_ratio);
 
     const Schedule heft_sched =
@@ -43,8 +64,8 @@ std::vector<FigureRow> run_figure(const FigureConfig& config,
     row.ilha_speedup = speedup(graph, platform, ilha_sched);
     row.heft_comms = heft_sched.num_comms();
     row.ilha_comms = ilha_sched.num_comms();
-    rows.push_back(row);
-  }
+    rows[i] = row;
+  });
   return rows;
 }
 
@@ -76,6 +97,73 @@ void print_figure(std::ostream& os, const std::string& title,
      << "\n";
   figure_table(run_figure(config, platform)).write_pretty(os);
   os.flush();
+}
+
+// ------------------------------------------------- general grid sweeps
+
+std::vector<SweepPoint> make_sweep_grid(
+    const std::vector<std::string>& testbed_names,
+    const std::vector<int>& sizes,
+    const std::vector<std::string>& scheduler_names, double comm_ratio,
+    int chunk_size) {
+  std::vector<SweepPoint> grid;
+  grid.reserve(testbed_names.size() * sizes.size() * scheduler_names.size());
+  for (const std::string& testbed : testbed_names) {
+    for (const int n : sizes) {
+      for (const std::string& scheduler : scheduler_names) {
+        grid.push_back({testbed, n, scheduler, comm_ratio, chunk_size});
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
+                                   const Platform& platform,
+                                   const SweepOptions& options) {
+  std::vector<SweepResult> results(grid.size());
+  ThreadPool pool(resolve_workers(options.workers));
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    const SweepPoint& point = grid[i];
+    const testbeds::TestbedEntry testbed =
+        testbeds::find_testbed(point.testbed);
+    const SchedulerEntry scheduler =
+        find_scheduler(point.scheduler, point.chunk_size);
+    const TaskGraph graph = testbed.make(point.size, point.comm_ratio);
+    const Schedule schedule = scheduler.run(graph, platform);
+
+    if (options.validate) {
+      const ValidationResult result =
+          is_one_port(point.scheduler)
+              ? validate_one_port(schedule, graph, platform)
+              : validate_macro_dataflow(schedule, graph, platform);
+      ensure(result.ok(), point.scheduler + " schedule invalid for " +
+                              point.testbed + "(" +
+                              std::to_string(point.size) +
+                              "): " + result.message());
+    }
+
+    SweepResult& out = results[i];
+    out.point = point;
+    out.num_tasks = graph.num_tasks();
+    out.makespan = schedule.makespan();
+    out.speedup = speedup(graph, platform, schedule);
+    out.num_comms = schedule.num_comms();
+  });
+  return results;
+}
+
+csv::Table sweep_table(const std::vector<SweepResult>& rows) {
+  csv::Table table({"testbed", "n", "scheduler", "tasks", "ratio",
+                    "makespan", "msgs"});
+  for (const SweepResult& r : rows) {
+    table.add_row({r.point.testbed, std::to_string(r.point.size),
+                   r.point.scheduler, std::to_string(r.num_tasks),
+                   csv::format_number(r.speedup),
+                   csv::format_number(r.makespan, 0),
+                   std::to_string(r.num_comms)});
+  }
+  return table;
 }
 
 }  // namespace oneport::analysis

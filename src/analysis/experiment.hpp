@@ -1,8 +1,19 @@
 // The experiment harness behind Figures 7-12: for one testbed, sweep the
 // problem size, run HEFT and ILHA under the one-port model, validate both
 // schedules, and report the paper's ratio (sequential time / makespan).
+//
+// Two drivers exist:
+//   * run_figure: the paper's fixed HEFT+ILHA column pair over one
+//     testbed's size sweep;
+//   * run_sweep: the general (testbed, n, heuristic) grid, each point an
+//     independent scheduler run.
+// Both farm their points over a util/thread_pool.hpp worker pool
+// (`workers` knob; 1 = serial, 0 = hardware concurrency) and always
+// return rows in grid order -- every point is a pure function of its
+// inputs, so the results are identical whatever the worker count.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -18,6 +29,7 @@ struct FigureConfig {
   double comm_ratio = 10.0;                     ///< the paper's c
   int chunk_size = 38;                          ///< ILHA's B
   bool validate = true;  ///< run the one-port validator on every schedule
+  int workers = 0;  ///< experiment parallelism; 0 = hardware concurrency
 };
 
 struct FigureRow {
@@ -42,5 +54,48 @@ struct FigureRow {
 /// Convenience: run + pretty-print with a title.
 void print_figure(std::ostream& os, const std::string& title,
                   const FigureConfig& config, const Platform& platform);
+
+// ------------------------------------------------- general grid sweeps
+
+/// One (testbed, n, scheduler) cell of a sweep grid.
+struct SweepPoint {
+  std::string testbed;    ///< testbeds registry name, e.g. "LU"
+  int size = 100;         ///< problem size n
+  std::string scheduler;  ///< scheduler registry name, e.g. "heft-oneport"
+  double comm_ratio = 10.0;
+  int chunk_size = 38;  ///< ILHA's B (ignored by other schedulers)
+};
+
+struct SweepResult {
+  SweepPoint point;
+  std::size_t num_tasks = 0;
+  double makespan = 0.0;
+  double speedup = 0.0;  ///< sequential time / makespan (the paper's ratio)
+  std::size_t num_comms = 0;
+};
+
+struct SweepOptions {
+  int workers = 0;  ///< 0 = hardware concurrency, 1 = serial
+  /// Validate every schedule under the model implied by the scheduler
+  /// name (one-port for "*-oneport" entries, macro-dataflow otherwise);
+  /// throws std::logic_error on the first violation.
+  bool validate = true;
+};
+
+/// Builds the full cross product testbeds x sizes x schedulers.
+[[nodiscard]] std::vector<SweepPoint> make_sweep_grid(
+    const std::vector<std::string>& testbed_names,
+    const std::vector<int>& sizes,
+    const std::vector<std::string>& scheduler_names,
+    double comm_ratio = 10.0, int chunk_size = 38);
+
+/// Runs every grid point (in parallel per SweepOptions::workers) and
+/// returns results in grid order.
+[[nodiscard]] std::vector<SweepResult> run_sweep(
+    const std::vector<SweepPoint>& grid, const Platform& platform,
+    const SweepOptions& options = {});
+
+/// Formats sweep results as one row per grid point.
+[[nodiscard]] csv::Table sweep_table(const std::vector<SweepResult>& rows);
 
 }  // namespace oneport::analysis

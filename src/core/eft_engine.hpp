@@ -17,8 +17,15 @@
 // finish first, task id on ties); the paper leaves this order open and
 // "assigns the new communications as early as possible, in a greedy
 // fashion", which this policy implements deterministically.
+//
+// Evaluation is allocation-free after warm-up: the engine keeps one
+// reusable overlay per processor and port direction, invalidated lazily
+// by an epoch counter bumped at the start of every evaluation, plus
+// scratch vectors for the predecessor ordering and routed paths.  The
+// scratch makes evaluate() non-reentrant: use one engine per thread.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/task_graph.hpp"
@@ -63,6 +70,10 @@ class EftEngine {
   /// `v` to be committed already.
   [[nodiscard]] Evaluation evaluate(TaskId v, ProcId proc) const;
 
+  /// Same as evaluate(), writing into `out` so hot loops can recycle the
+  /// comms vector's capacity across calls.
+  void evaluate_into(TaskId v, ProcId proc, Evaluation& out) const;
+
   /// Evaluates every processor and returns the one with the earliest
   /// finish time (smallest processor id on ties).
   [[nodiscard]] Evaluation evaluate_best(TaskId v) const;
@@ -77,8 +88,12 @@ class EftEngine {
   [[nodiscard]] const TaskPlacement& placement(TaskId v) const {
     return placements_[v];
   }
-  /// True when every predecessor of `v` has been committed.
-  [[nodiscard]] bool ready(TaskId v) const;
+  /// True when every predecessor of `v` has been committed.  O(1): backed
+  /// by an indegree counter decremented on commit, not a predecessor
+  /// rescan.
+  [[nodiscard]] bool ready(TaskId v) const {
+    return pending_preds_[v] == 0;
+  }
 
   /// Extracts the finished schedule; requires all tasks committed.
   [[nodiscard]] Schedule build_schedule() const;
@@ -90,15 +105,51 @@ class EftEngine {
   [[nodiscard]] Model model() const noexcept { return model_; }
 
  private:
+  /// Cheap lower bound on evaluate(v, proc).finish: predecessor finish
+  /// plus minimum (routed) transfer time plus execution time, ignoring
+  /// port contention and compute gaps.  Used to prune dominated
+  /// candidates in evaluate_best without changing its result.
+  [[nodiscard]] double finish_lower_bound(TaskId v, ProcId proc) const;
+
+  /// Predecessors of `v` ordered by (finish asc, id asc), cached per
+  /// task: predecessor placements are immutable once committed, so the
+  /// order is shared across the whole candidate-processor scan.
+  const std::vector<const EdgeRef*>& sorted_preds(TaskId v) const;
+
+  /// Returns the per-processor scratch overlay for the current epoch,
+  /// resetting it on first touch within this evaluation.
+  TimelineOverlay& overlay_of(std::vector<TimelineOverlay>& overlays,
+                              std::vector<std::uint64_t>& epochs,
+                              const std::vector<TimelineIndex>& base,
+                              ProcId p) const;
+
   const TaskGraph& graph_;
   const Platform& platform_;
   Model model_;
   const RoutingTable* routing_;
   std::vector<TaskPlacement> placements_;
   std::vector<CommPlacement> comms_;
-  std::vector<Timeline> compute_;  // per processor
-  std::vector<Timeline> send_;     // per processor (one-port only)
-  std::vector<Timeline> recv_;     // per processor (one-port only)
+  std::vector<TimelineIndex> compute_;  // per processor
+  std::vector<TimelineIndex> send_;     // per processor (one-port only)
+  std::vector<TimelineIndex> recv_;     // per processor (one-port only)
+  std::vector<std::uint32_t> pending_preds_;  // uncommitted preds per task
+
+  // Reusable evaluation scratch (see the header comment): overlays are
+  // valid for the evaluation whose epoch stamp they carry; stale ones are
+  // reset on first use instead of being reallocated.
+  mutable std::uint64_t epoch_ = 0;
+  mutable std::vector<TimelineOverlay> send_overlays_;
+  mutable std::vector<TimelineOverlay> recv_overlays_;
+  mutable std::vector<std::uint64_t> send_epochs_;
+  mutable std::vector<std::uint64_t> recv_epochs_;
+  mutable std::vector<const EdgeRef*> preds_scratch_;
+  mutable TaskId preds_task_ = kInvalidTask;  ///< task preds_scratch_ is for
+  /// Earliest send-port fit per entry of preds_scratch_ (one-port without
+  /// routing only); see sorted_preds().
+  mutable std::vector<double> releases_scratch_;
+  mutable std::vector<ProcId> path_scratch_;
+  mutable std::vector<std::pair<double, ProcId>> bounds_scratch_;
+  std::vector<double> min_out_link_;  ///< per proc: min outgoing link cost
 };
 
 }  // namespace oneport

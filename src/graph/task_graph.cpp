@@ -50,24 +50,9 @@ void TaskGraph::finalize() {
   finalized_ = true;
 }
 
-double TaskGraph::weight(TaskId v) const {
-  check_task(v);
-  return weights_[v];
-}
-
 const std::string& TaskGraph::name(TaskId v) const {
   check_task(v);
   return names_[v];
-}
-
-std::span<const EdgeRef> TaskGraph::successors(TaskId v) const {
-  check_task(v);
-  return succ_[v];
-}
-
-std::span<const EdgeRef> TaskGraph::predecessors(TaskId v) const {
-  check_task(v);
-  return pred_[v];
 }
 
 double TaskGraph::edge_data(TaskId src, TaskId dst) const {
@@ -106,10 +91,6 @@ std::vector<TaskId> TaskGraph::exit_tasks() const {
   for (TaskId v = 0; v < num_tasks(); ++v)
     if (succ_[v].empty()) out.push_back(v);
   return out;
-}
-
-void TaskGraph::check_task(TaskId v) const {
-  OP_REQUIRE(v < weights_.size(), "task id " << v << " out of range");
 }
 
 }  // namespace oneport

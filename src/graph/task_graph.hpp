@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace oneport {
 
 using TaskId = std::uint32_t;
@@ -51,13 +53,25 @@ class TaskGraph {
   }
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
 
-  [[nodiscard]] double weight(TaskId v) const;
+  // weight/successors/predecessors are defined inline: the EFT engine
+  // hits them millions of times per schedule, and the call overhead of
+  // out-of-line accessors is measurable at 10k+ tasks.
+  [[nodiscard]] double weight(TaskId v) const {
+    check_task(v);
+    return weights_[v];
+  }
   [[nodiscard]] const std::string& name(TaskId v) const;
   /// Sum of all task weights (the total work W of the application).
   [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
 
-  [[nodiscard]] std::span<const EdgeRef> successors(TaskId v) const;
-  [[nodiscard]] std::span<const EdgeRef> predecessors(TaskId v) const;
+  [[nodiscard]] std::span<const EdgeRef> successors(TaskId v) const {
+    check_task(v);
+    return succ_[v];
+  }
+  [[nodiscard]] std::span<const EdgeRef> predecessors(TaskId v) const {
+    check_task(v);
+    return pred_[v];
+  }
   [[nodiscard]] std::size_t in_degree(TaskId v) const {
     return predecessors(v).size();
   }
@@ -77,7 +91,9 @@ class TaskGraph {
   [[nodiscard]] std::vector<TaskId> exit_tasks() const;
 
  private:
-  void check_task(TaskId v) const;
+  void check_task(TaskId v) const {
+    OP_REQUIRE(v < num_tasks(), "task id " << v << " out of range");
+  }
 
   std::vector<double> weights_;
   std::vector<std::string> names_;

@@ -41,17 +41,6 @@ Platform::Platform(std::vector<double> cycle_times, double uniform_link)
   OP_REQUIRE(uniform_link >= 0.0, "uniform link must be non-negative");
 }
 
-double Platform::cycle_time(ProcId p) const {
-  OP_REQUIRE(p >= 0 && p < num_processors(), "processor id out of range");
-  return cycle_times_[static_cast<std::size_t>(p)];
-}
-
-double Platform::link(ProcId from, ProcId to) const {
-  OP_REQUIRE(from >= 0 && from < num_processors(), "`from` out of range");
-  OP_REQUIRE(to >= 0 && to < num_processors(), "`to` out of range");
-  return link_(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
-}
-
 ProcId Platform::fastest_processor() const {
   ProcId best = 0;
   for (ProcId p = 1; p < num_processors(); ++p) {

@@ -31,11 +31,21 @@ class Platform {
   [[nodiscard]] int num_processors() const noexcept {
     return static_cast<int>(cycle_times_.size());
   }
-  [[nodiscard]] double cycle_time(ProcId p) const;
+  // cycle_time/link are defined inline: the EFT engine queries them per
+  // (task, processor, edge) evaluation, millions of times per schedule.
+  [[nodiscard]] double cycle_time(ProcId p) const {
+    OP_REQUIRE(p >= 0 && p < num_processors(), "processor id out of range");
+    return cycle_times_[static_cast<std::size_t>(p)];
+  }
   [[nodiscard]] const std::vector<double>& cycle_times() const noexcept {
     return cycle_times_;
   }
-  [[nodiscard]] double link(ProcId from, ProcId to) const;
+  [[nodiscard]] double link(ProcId from, ProcId to) const {
+    OP_REQUIRE(from >= 0 && from < num_processors(), "`from` out of range");
+    OP_REQUIRE(to >= 0 && to < num_processors(), "`to` out of range");
+    return link_(static_cast<std::size_t>(from),
+                 static_cast<std::size_t>(to));
+  }
 
   /// Execution time of a task of weight w on processor p.
   [[nodiscard]] double exec_time(double weight, ProcId p) const {

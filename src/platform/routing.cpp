@@ -47,9 +47,17 @@ RoutingTable RoutingTable::shortest_paths(const Platform& platform) {
 }
 
 std::vector<ProcId> RoutingTable::path(ProcId from, ProcId to) const {
+  std::vector<ProcId> out;
+  path_into(from, to, out);
+  return out;
+}
+
+void RoutingTable::path_into(ProcId from, ProcId to,
+                             std::vector<ProcId>& out) const {
   OP_REQUIRE(from >= 0 && from < p_ && to >= 0 && to < p_,
              "processor out of range");
-  std::vector<ProcId> out{from};
+  out.clear();
+  out.push_back(from);
   ProcId cur = from;
   while (cur != to) {
     cur = next_(static_cast<std::size_t>(cur), static_cast<std::size_t>(to));
@@ -58,7 +66,6 @@ std::vector<ProcId> RoutingTable::path(ProcId from, ProcId to) const {
               "routing loop detected");
     out.push_back(cur);
   }
-  return out;
 }
 
 bool RoutingTable::direct(ProcId from, ProcId to) const {

@@ -32,6 +32,10 @@ class RoutingTable {
   /// (so path(q, q) == {q} and adjacent pairs give {q, r}).
   [[nodiscard]] std::vector<ProcId> path(ProcId from, ProcId to) const;
 
+  /// Allocation-free variant for hot loops: clears `out` and appends the
+  /// path, recycling the vector's capacity across calls.
+  void path_into(ProcId from, ProcId to, std::vector<ProcId>& out) const;
+
   /// True when the direct link is the routed path (single hop).
   [[nodiscard]] bool direct(ProcId from, ProcId to) const;
 

@@ -1,12 +1,19 @@
 #include "sched/timeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "util/error.hpp"
 
 namespace oneport {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// First busy interval whose end is after `t` (candidates that could block
 /// a slot starting at or after `t`).
@@ -18,6 +25,8 @@ std::vector<Interval>::const_iterator first_blocking(
 }
 
 }  // namespace
+
+// ------------------------------------------------- reference timeline
 
 double Timeline::next_fit(double ready, double duration) const {
   OP_REQUIRE(duration >= 0.0, "duration must be non-negative");
@@ -84,11 +93,182 @@ double Timeline::busy_time() const noexcept {
   return total;
 }
 
-double TimelineOverlay::next_fit(double ready, double duration) const {
+// ----------------------------------------------- gap-indexed timeline
+
+std::size_t GapTimeline::gap_ending_after(double t) const {
+  // Cursor probe: list scheduling's next_fit/reserve pairs keep landing
+  // in the same gap, and the joint-fit search for one-port messages
+  // advances gap by gap, so probing the hinted gap and its successor
+  // makes both common cases O(1).  A probe at index i is valid when
+  // gaps_[i] ends after `t` and its predecessor does not.
+  if (hint_ < gaps_.size() && gaps_[hint_].end > t + kTimeEps) {
+    if (hint_ == 0 || gaps_[hint_ - 1].end <= t + kTimeEps) return hint_;
+  } else if (hint_ + 1 < gaps_.size() && gaps_[hint_ + 1].end > t + kTimeEps) {
+    return ++hint_;  // the predecessor check is the branch we came from
+  }
+  // Gallop backwards from the +inf sentinel gap: list scheduling queries
+  // cluster near the growing end of the timeline, so the boundary is
+  // typically a handful of gaps from the back and the search costs
+  // O(log distance-from-end) instead of O(log gaps).
+  const double bound = t + kTimeEps;
+  const std::size_t last = gaps_.size() - 1;  // always ends after t (+inf)
+  std::size_t lo = 0;
+  std::size_t w = 1;
+  while (w <= last && gaps_[last - w].end > bound) w <<= 1;
+  if (w <= last) lo = last - w + 1;
+  const std::size_t up = last - (w >> 1);  // last failed probe, if any
+  const auto it = std::partition_point(
+      gaps_.begin() + static_cast<std::ptrdiff_t>(lo),
+      gaps_.begin() + static_cast<std::ptrdiff_t>(up + 1),
+      [bound](const Interval& g) { return g.end <= bound; });
+  hint_ = static_cast<std::size_t>(it - gaps_.begin());
+  return hint_;
+}
+
+double GapTimeline::next_fit(double ready, double duration) const {
+  OP_REQUIRE(duration >= 0.0, "duration must be non-negative");
   if (duration <= kTimeEps) return ready;
+  if (gaps_.empty()) return ready;
+  // O(1) fast path for the dominant list-scheduling pattern: a slot at or
+  // beyond the horizon (within tolerance) always starts at `ready`
+  // inside the +inf sentinel gap.
+  if (ready >= gaps_.back().start - kTimeEps) return ready;
+  for (std::size_t i = gap_ending_after(ready); i < gaps_.size(); ++i) {
+    const Interval& g = gaps_[i];
+    // `ready` counts as inside the gap when it is at most kTimeEps before
+    // its start: the reference scan skips busy intervals ending within
+    // kTimeEps after `ready`, so both implementations then return `ready`
+    // itself.  Later gaps always start after ready + kTimeEps.
+    const double start = g.start <= ready + kTimeEps ? ready : g.start;
+    if (start + duration <= g.end + kTimeEps) return start;
+  }
+  OP_ASSERT(false, "gap list lost its +inf sentinel");
+  return ready;
+}
+
+void GapTimeline::reserve(double start, double end) {
+  OP_REQUIRE(end >= start - kTimeEps, "interval end before start");
+  if (Interval{start, end}.degenerate()) return;
+  if (gaps_.empty()) gaps_.push_back({-kInf, kInf});
+  const std::size_t i = gap_ending_after(start);
+  const Interval g = gaps_[i];
+  // The slot must sit inside one free gap (modulo the usual tolerance for
+  // touching); otherwise it overlaps the busy interval bounding the gap.
+  OP_ASSERT(start >= g.start - kTimeEps,
+            "reservation [" << start << "," << end << ") overlaps ["
+                            << (i == 0 ? -kInf : gaps_[i - 1].end) << ","
+                            << g.start << ")");
+  OP_ASSERT(end <= g.end + kTimeEps,
+            "reservation [" << start << "," << end << ") overlaps ["
+                            << g.end << ","
+                            << (i + 1 < gaps_.size() ? gaps_[i + 1].start
+                                                     : kInf)
+                            << ")");
+  // Remnants within kTimeEps of the gap boundary merge into the adjacent
+  // busy interval, mirroring the reference's touching-neighbor merge.
+  const bool keep_left = start > g.start + kTimeEps;
+  const bool keep_right = g.end > end + kTimeEps;
+  if (keep_left && keep_right) {
+    gaps_[i].end = start;
+    gaps_.insert(gaps_.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                 Interval{end, g.end});
+    hint_ = i + 1;
+  } else if (keep_left) {
+    gaps_[i].end = start;
+    hint_ = i + 1;  // the slot ran up to the next busy interval
+  } else if (keep_right) {
+    gaps_[i].start = end;
+    hint_ = i;
+  } else {
+    // The reservation bridges the two neighboring busy intervals; the
+    // last gap ends at +inf and is therefore never erased.
+    gaps_.erase(gaps_.begin() + static_cast<std::ptrdiff_t>(i));
+    hint_ = i;
+  }
+}
+
+bool GapTimeline::is_free(double start, double end) const {
+  if (Interval{start, end}.degenerate()) return true;
+  if (gaps_.empty()) return true;
+  const Interval& g = gaps_[gap_ending_after(start)];
+  return start >= g.start - kTimeEps && end <= g.end + kTimeEps;
+}
+
+double GapTimeline::busy_time() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) {
+    total += gaps_[i + 1].start - gaps_[i].end;
+  }
+  return total;
+}
+
+std::vector<Interval> GapTimeline::busy_intervals() const {
+  std::vector<Interval> busy;
+  if (gaps_.size() < 2) return busy;
+  busy.reserve(gaps_.size() - 1);
+  for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) {
+    busy.push_back({gaps_[i].end, gaps_[i + 1].start});
+  }
+  return busy;
+}
+
+// -------------------------------------------- implementation selection
+
+namespace {
+
+TimelineImpl impl_from_env() {
+  const char* env = std::getenv("ONEPORT_TIMELINE");
+  if (env != nullptr) {
+    if (std::strcmp(env, "reference") == 0) return TimelineImpl::kReference;
+    if (std::strcmp(env, "gap") == 0 || std::strcmp(env, "gap-indexed") == 0) {
+      return TimelineImpl::kGapIndexed;
+    }
+    // A typo silently selecting the default would invalidate differential
+    // runs; be loud (but do not throw from a static initializer).
+    std::fprintf(stderr,
+                 "oneport: ignoring unknown ONEPORT_TIMELINE value '%s' "
+                 "(expected 'reference' or 'gap'); using gap-indexed\n",
+                 env);
+  }
+  return TimelineImpl::kGapIndexed;
+}
+
+std::atomic<TimelineImpl>& default_impl_slot() noexcept {
+  static std::atomic<TimelineImpl> slot{impl_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+TimelineImpl default_timeline_impl() noexcept {
+  return default_impl_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_timeline_impl(TimelineImpl impl) noexcept {
+  default_impl_slot().store(impl, std::memory_order_relaxed);
+}
+
+const char* timeline_impl_name(TimelineImpl impl) noexcept {
+  return impl == TimelineImpl::kReference ? "reference" : "gap-indexed";
+}
+
+// ---------------------------------------------------------- overlays
+
+double TimelineOverlay::next_fit(double ready, double duration) const {
+  OP_ASSERT(base_ != nullptr, "overlay used before reset()");
+  if (duration <= kTimeEps) return ready;
+  // Most evaluations add zero or one extras per port; skip the merge
+  // machinery entirely while the overlay is still transparent.
+  if (extras_.empty()) return base_->next_fit(ready, duration);
   double candidate = ready;
   while (true) {
     candidate = base_->next_fit(candidate, duration);
+    // One ordered pass over the start-sorted extras, absorbing every
+    // extra the sliding candidate still overlaps.  The pass starts from
+    // the front on purpose: add() accepts arbitrary (even overlapping)
+    // intervals, so ends are not sorted and passed extras cannot be
+    // skipped by binary search.  Extras are bounded by the task's
+    // in-degree, so the pass is short.
     bool moved = false;
     for (const Interval& extra : extras_) {
       if (extra.start >= candidate + duration - kTimeEps) break;

@@ -1,7 +1,25 @@
-// Busy-interval timeline of a single exclusive resource (a processor's
+// Busy-interval timelines of a single exclusive resource (a processor's
 // compute unit, send port, or receive port).
 //
-// Supports the two queries list scheduling needs:
+// Two interchangeable implementations sit behind the same
+// next_fit/reserve/is_free contract:
+//
+//   * Timeline -- the reference implementation: a sorted vector of busy
+//     intervals, scanned linearly from a binary-searched lower bound.
+//     Simple to audit; every other implementation is differentially
+//     tested against it.
+//   * GapTimeline -- the scale implementation: a sorted *free-gap* list
+//     (binary-searchable starts) plus a hinted cursor so the
+//     back-to-back append pattern list scheduling produces costs O(1)
+//     instead of a fresh binary search per reservation.
+//
+// TimelineIndex wraps both behind one concrete type (no virtual
+// dispatch) and is what the EFT engine stores; the active implementation
+// is chosen per instance, defaulting to a process-wide setting that can
+// be overridden with set_default_timeline_impl() or the ONEPORT_TIMELINE
+// environment variable ("reference" or "gap").
+//
+// The operations supported are the two queries list scheduling needs:
 //   * next_fit(ready, duration): earliest start >= ready of a free slot,
 //     i.e. insertion-based gap search;
 //   * reserve(start, end): mark a slot busy.
@@ -17,6 +35,8 @@
 #include "sched/interval.hpp"
 
 namespace oneport {
+
+// ------------------------------------------------- reference timeline
 
 class Timeline {
  public:
@@ -39,6 +59,11 @@ class Timeline {
   [[nodiscard]] std::span<const Interval> busy() const noexcept {
     return busy_;
   }
+  /// Materialized busy intervals -- the common accessor both timeline
+  /// implementations share, so tests can compare them structurally.
+  [[nodiscard]] std::vector<Interval> busy_intervals() const {
+    return {busy_.begin(), busy_.end()};
+  }
   [[nodiscard]] bool empty() const noexcept { return busy_.empty(); }
   void clear() noexcept { busy_.clear(); }
 
@@ -51,13 +76,141 @@ class Timeline {
   std::vector<Interval> busy_;
 };
 
-/// A read-only view of a Timeline plus a small set of *pending* extra
-/// reservations, used while evaluating candidate processors.  The extras
-/// are typically the communications tentatively scheduled for earlier
-/// parents of the same task.
+// ----------------------------------------------- gap-indexed timeline
+
+/// Same contract as Timeline, but the state is the complement: the sorted
+/// list of free gaps.  The first gap starts at -infinity and the last gap
+/// ends at +infinity; consecutive gaps are separated by exactly one busy
+/// interval, so `gaps_[i].end .. gaps_[i+1].start` *is* the i-th busy
+/// interval.  next_fit/reserve locate the gap covering a time point by
+/// first probing a cursor remembering where the previous reservation
+/// landed (list scheduling reserves back-to-back slots, so the probe
+/// almost always hits) and only then falling back to binary search.
+///
+/// Not thread-safe, not even for const queries: the cursor is updated
+/// from next_fit.  Use one timeline (engine) per thread.
+class GapTimeline {
+ public:
+  [[nodiscard]] double next_fit(double ready, double duration) const;
+  void reserve(double start, double end);
+  [[nodiscard]] bool is_free(double start, double end) const;
+
+  [[nodiscard]] double horizon() const noexcept {
+    return gaps_.size() < 2 ? 0.0 : gaps_.back().start;
+  }
+  [[nodiscard]] bool empty() const noexcept { return gaps_.size() < 2; }
+  void clear() noexcept {
+    gaps_.clear();
+    hint_ = 0;
+  }
+  [[nodiscard]] double busy_time() const noexcept;
+  [[nodiscard]] std::vector<Interval> busy_intervals() const;
+
+ private:
+  /// Index of the first gap whose end is after `t` (the gap in or after
+  /// which a slot starting at or after `t` must begin).  Requires a
+  /// non-empty gap list.
+  [[nodiscard]] std::size_t gap_ending_after(double t) const;
+
+  // Empty means "never reserved" == one gap (-inf, +inf); materialized on
+  // the first reserve() so default-constructed timelines stay
+  // allocation-free.
+  std::vector<Interval> gaps_;
+  mutable std::size_t hint_ = 0;  ///< gap index probed before searching
+};
+
+// -------------------------------------------- implementation selection
+
+enum class TimelineImpl {
+  kReference,   ///< sorted busy-interval vector (Timeline)
+  kGapIndexed,  ///< free-gap list with hinted cursor (GapTimeline)
+};
+
+/// Process-wide default used by TimelineIndex's default constructor.
+/// Initialized once from the ONEPORT_TIMELINE environment variable
+/// ("reference" or "gap"); kGapIndexed when unset.
+[[nodiscard]] TimelineImpl default_timeline_impl() noexcept;
+void set_default_timeline_impl(TimelineImpl impl) noexcept;
+[[nodiscard]] const char* timeline_impl_name(TimelineImpl impl) noexcept;
+
+/// RAII override of the process-wide default, for differential tests and
+/// benchmarks that run both implementations side by side.
+class ScopedTimelineImpl {
+ public:
+  explicit ScopedTimelineImpl(TimelineImpl impl)
+      : previous_(default_timeline_impl()) {
+    set_default_timeline_impl(impl);
+  }
+  ~ScopedTimelineImpl() { set_default_timeline_impl(previous_); }
+  ScopedTimelineImpl(const ScopedTimelineImpl&) = delete;
+  ScopedTimelineImpl& operator=(const ScopedTimelineImpl&) = delete;
+
+ private:
+  TimelineImpl previous_;
+};
+
+/// The timeline abstraction the scheduling engine stores: one concrete
+/// type dispatching to the implementation chosen at construction.  Both
+/// members are cheap empty vectors; only the active one ever grows.
+class TimelineIndex {
+ public:
+  TimelineIndex() : TimelineIndex(default_timeline_impl()) {}
+  explicit TimelineIndex(TimelineImpl impl) : impl_(impl) {}
+
+  [[nodiscard]] double next_fit(double ready, double duration) const {
+    return reference() ? ref_.next_fit(ready, duration)
+                       : gap_.next_fit(ready, duration);
+  }
+  void reserve(double start, double end) {
+    reference() ? ref_.reserve(start, end) : gap_.reserve(start, end);
+  }
+  [[nodiscard]] bool is_free(double start, double end) const {
+    return reference() ? ref_.is_free(start, end) : gap_.is_free(start, end);
+  }
+  [[nodiscard]] double horizon() const noexcept {
+    return reference() ? ref_.horizon() : gap_.horizon();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return reference() ? ref_.empty() : gap_.empty();
+  }
+  void clear() noexcept { reference() ? ref_.clear() : gap_.clear(); }
+  [[nodiscard]] double busy_time() const noexcept {
+    return reference() ? ref_.busy_time() : gap_.busy_time();
+  }
+  [[nodiscard]] std::vector<Interval> busy_intervals() const {
+    return reference() ? ref_.busy_intervals() : gap_.busy_intervals();
+  }
+  [[nodiscard]] TimelineImpl impl() const noexcept { return impl_; }
+
+ private:
+  [[nodiscard]] bool reference() const noexcept {
+    return impl_ == TimelineImpl::kReference;
+  }
+
+  TimelineImpl impl_;
+  Timeline ref_;
+  GapTimeline gap_;
+};
+
+// ---------------------------------------------------------- overlays
+
+/// A read-only view of a TimelineIndex plus a small set of *pending*
+/// extra reservations, used while evaluating candidate processors.  The
+/// extras are typically the communications tentatively scheduled for
+/// earlier parents of the same task.  Overlays are designed for reuse:
+/// the EFT engine keeps one per processor and reset()s it instead of
+/// reallocating (the extras vector keeps its capacity).
 class TimelineOverlay {
  public:
-  explicit TimelineOverlay(const Timeline& base) : base_(&base) {}
+  TimelineOverlay() = default;
+  explicit TimelineOverlay(const TimelineIndex& base) : base_(&base) {}
+
+  /// Re-points the overlay at `base` and drops the extras, keeping the
+  /// allocated capacity.
+  void reset(const TimelineIndex& base) {
+    base_ = &base;
+    extras_.clear();
+  }
 
   [[nodiscard]] double next_fit(double ready, double duration) const;
   void add(double start, double end);
@@ -66,7 +219,7 @@ class TimelineOverlay {
   }
 
  private:
-  const Timeline* base_;
+  const TimelineIndex* base_ = nullptr;
   std::vector<Interval> extras_;  // kept sorted by start
 };
 

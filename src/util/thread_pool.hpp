@@ -1,0 +1,160 @@
+// A small fixed-size worker pool for farming independent experiment
+// points (scheduler runs are pure functions of graph x platform, so the
+// only shared state a job needs is read-only).
+//
+// Design notes:
+//   * submit() enqueues a job; wait_idle() blocks until the queue is
+//     drained AND every worker finished -- together they give a simple
+//     fork/join.  parallel_for() wraps the pair with an atomic index so
+//     results land in caller-owned slots, which keeps output ordering
+//     deterministic regardless of which worker finishes first.
+//   * exceptions thrown by jobs are captured; the first one is rethrown
+//     from wait_idle()/parallel_for() on the calling thread, so a failed
+//     validation inside a worker still fails the sweep loudly.
+//   * a pool of size 1 never spawns threads: jobs run inline on the
+//     caller, which keeps single-core machines and ONEPORT_WORKERS=1
+//     runs free of threading overhead (and trivially deterministic).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace oneport {
+
+class ThreadPool {
+ public:
+  /// `workers` == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned workers = 0) {
+    if (workers == 0) workers = default_workers();
+    workers_count_ = workers;
+    if (workers < 2) return;  // inline mode, no threads
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return workers_count_; }
+
+  [[nodiscard]] static unsigned default_workers() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Enqueues `job`; runs it inline when the pool has no threads.
+  void submit(std::function<void()> job) {
+    if (threads_.empty()) {
+      run_job(job);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(job));
+      ++pending_;
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished, then rethrows the
+  /// first captured job exception (if any).
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Runs fn(i) for every i in [0, count) across the pool and blocks
+  /// until all complete; rethrows the first job exception.
+  template <typename Fn>
+  void parallel_for(std::size_t count, Fn&& fn) {
+    if (count == 0) return;
+    if (threads_.empty()) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto body = std::make_shared<std::decay_t<Fn>>(std::forward<Fn>(fn));
+    const std::size_t lanes =
+        std::min<std::size_t>(count, workers_count_);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      submit([next, body, count] {
+        for (std::size_t i = next->fetch_add(1); i < count;
+             i = next->fetch_add(1)) {
+          (*body)(i);
+        }
+      });
+    }
+    wait_idle();
+  }
+
+ private:
+  void run_job(std::function<void()>& job) {
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (!threads_.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    } else if (first_error_) {
+      // Inline mode: surface the failure immediately, like wait_idle().
+      std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+  void worker_loop() {
+    while (true) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to run
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      run_job(job);
+    }
+  }
+
+  unsigned workers_count_ = 1;
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace oneport

@@ -7,11 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "sched/replay.hpp"
+#include "sched/timeline.hpp"
 #include "support/invariants.hpp"
 #include "support/scenario.hpp"
 
@@ -63,6 +65,58 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepTest,
 TEST(PropertySweepEdgeCases, AllHeuristicsSatisfyAllInvariants) {
   for (const Scenario& scenario : testsupport::edge_case_scenarios()) {
     sweep_scenario(scenario);
+  }
+}
+
+// Extended mode for CI/nightly: ONEPORT_SWEEP_SEEDS=<count> deepens the
+// default 7x6 sweep with <count> extra seeded sweeps -- no rebuild
+// needed, just the environment variable.
+TEST(PropertySweepExtended, HonorsEnvSeedCount) {
+  const char* env = std::getenv("ONEPORT_SWEEP_SEEDS");
+  const long extra = env != nullptr ? std::strtol(env, nullptr, 10) : 0;
+  if (extra <= 0) {
+    GTEST_SKIP() << "set ONEPORT_SWEEP_SEEDS=<count> to deepen the sweep";
+  }
+  for (long i = 0; i < extra; ++i) {
+    const auto base = static_cast<std::uint64_t>(900101 + 97 * i);
+    SCOPED_TRACE("extended base seed " + std::to_string(base));
+    for (const Scenario& scenario : testsupport::scenario_sweep(base, 6)) {
+      sweep_scenario(scenario);
+    }
+  }
+}
+
+// Differential pin for the ISSUE-2 timeline refactor: the reference
+// sorted-vector timeline and the gap-indexed timeline must produce
+// BIT-IDENTICAL schedules (placements and messages compared with exact
+// double equality) for every registered heuristic under both
+// communication models.  Any divergence means the gap index changed
+// scheduling behavior, not just speed.
+TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
+  std::vector<Scenario> scenarios = testsupport::scenario_sweep(8087, 8);
+  for (Scenario& scenario : testsupport::edge_case_scenarios()) {
+    scenarios.push_back(std::move(scenario));
+  }
+  for (const Scenario& scenario : scenarios) {
+    for (const SchedulerEntry& entry : registry()) {
+      SCOPED_TRACE(scenario.description + " scheduler=" + entry.name);
+      Schedule reference;
+      Schedule indexed;
+      {
+        ScopedTimelineImpl guard(TimelineImpl::kReference);
+        reference = entry.run(scenario.graph, scenario.platform);
+      }
+      {
+        ScopedTimelineImpl guard(TimelineImpl::kGapIndexed);
+        indexed = entry.run(scenario.graph, scenario.platform);
+      }
+      ASSERT_EQ(reference.num_tasks(), indexed.num_tasks());
+      EXPECT_TRUE(reference.tasks() == indexed.tasks())
+          << "task placements diverge between timeline implementations";
+      EXPECT_TRUE(reference.comms() == indexed.comms())
+          << "communications diverge between timeline implementations";
+      EXPECT_EQ(reference.makespan(), indexed.makespan());
+    }
   }
 }
 

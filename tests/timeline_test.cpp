@@ -1,21 +1,35 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "sched/timeline.hpp"
 #include "util/rng.hpp"
 
 namespace oneport {
 namespace {
 
-TEST(Timeline, EmptyFitsAnywhere) {
-  Timeline t;
+// Every contract test below runs against BOTH timeline implementations:
+// the reference sorted-busy-vector (Timeline) and the gap-indexed free
+// list (GapTimeline).  They must agree not just on semantics but on the
+// exact doubles they return -- the property sweep relies on bit-identical
+// schedules from either implementation.
+template <typename T>
+class TimelineContractTest : public ::testing::Test {};
+
+using TimelineImpls = ::testing::Types<Timeline, GapTimeline>;
+TYPED_TEST_SUITE(TimelineContractTest, TimelineImpls);
+
+TYPED_TEST(TimelineContractTest, EmptyFitsAnywhere) {
+  TypeParam t;
   EXPECT_DOUBLE_EQ(t.next_fit(0.0, 5.0), 0.0);
   EXPECT_DOUBLE_EQ(t.next_fit(3.5, 5.0), 3.5);
   EXPECT_DOUBLE_EQ(t.horizon(), 0.0);
   EXPECT_TRUE(t.empty());
 }
 
-TEST(Timeline, FitsIntoExactGap) {
-  Timeline t;
+TYPED_TEST(TimelineContractTest, FitsIntoExactGap) {
+  TypeParam t;
   t.reserve(0.0, 2.0);
   t.reserve(5.0, 8.0);
   EXPECT_DOUBLE_EQ(t.next_fit(0.0, 3.0), 2.0);  // the [2,5) hole
@@ -24,33 +38,34 @@ TEST(Timeline, FitsIntoExactGap) {
   EXPECT_DOUBLE_EQ(t.next_fit(2.0, 2.0), 2.0);
 }
 
-TEST(Timeline, ZeroDurationAlwaysFits) {
-  Timeline t;
+TYPED_TEST(TimelineContractTest, ZeroDurationAlwaysFits) {
+  TypeParam t;
   t.reserve(0.0, 10.0);
   EXPECT_DOUBLE_EQ(t.next_fit(4.0, 0.0), 4.0);
 }
 
-TEST(Timeline, ReserveRejectsOverlap) {
-  Timeline t;
+TYPED_TEST(TimelineContractTest, ReserveRejectsOverlap) {
+  TypeParam t;
   t.reserve(0.0, 2.0);
   EXPECT_THROW(t.reserve(1.0, 3.0), std::logic_error);
   EXPECT_THROW(t.reserve(-1.0, 0.5), std::logic_error);
   EXPECT_NO_THROW(t.reserve(2.0, 3.0));  // touching is fine
 }
 
-TEST(Timeline, ReserveMergesTouchingIntervals) {
-  Timeline t;
+TYPED_TEST(TimelineContractTest, ReserveMergesTouchingIntervals) {
+  TypeParam t;
   t.reserve(0.0, 1.0);
   t.reserve(2.0, 3.0);
   t.reserve(1.0, 2.0);  // bridges both neighbours
-  ASSERT_EQ(t.busy().size(), 1u);
-  EXPECT_DOUBLE_EQ(t.busy()[0].start, 0.0);
-  EXPECT_DOUBLE_EQ(t.busy()[0].end, 3.0);
+  const std::vector<Interval> busy = t.busy_intervals();
+  ASSERT_EQ(busy.size(), 1u);
+  EXPECT_DOUBLE_EQ(busy[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(busy[0].end, 3.0);
   EXPECT_DOUBLE_EQ(t.busy_time(), 3.0);
 }
 
-TEST(Timeline, IsFree) {
-  Timeline t;
+TYPED_TEST(TimelineContractTest, IsFree) {
+  TypeParam t;
   t.reserve(2.0, 4.0);
   EXPECT_TRUE(t.is_free(0.0, 2.0));
   EXPECT_TRUE(t.is_free(4.0, 9.0));
@@ -59,9 +74,92 @@ TEST(Timeline, IsFree) {
   EXPECT_TRUE(t.is_free(3.0, 3.0));  // degenerate
 }
 
-TEST(Timeline, NextFitRejectsNegativeDuration) {
-  Timeline t;
+TYPED_TEST(TimelineContractTest, NextFitRejectsNegativeDuration) {
+  TypeParam t;
   EXPECT_THROW((void)t.next_fit(0.0, -1.0), std::invalid_argument);
+}
+
+TYPED_TEST(TimelineContractTest, ClearResets) {
+  TypeParam t;
+  t.reserve(0.0, 5.0);
+  t.reserve(7.0, 9.0);
+  EXPECT_FALSE(t.empty());
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.horizon(), 0.0);
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 100.0), 0.0);
+  t.reserve(1.0, 2.0);  // usable again after clear
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 2.0), 2.0);
+}
+
+// ------------------------------------- adversarial gap patterns
+
+/// Many small gaps: 100 unit reservations leaving 0.5-wide holes; a
+/// 0.5-slot fits into the first hole, a 0.6-slot only after everything.
+TYPED_TEST(TimelineContractTest, ManySmallGaps) {
+  TypeParam t;
+  for (int i = 0; i < 100; ++i) {
+    const double start = 1.5 * i;
+    t.reserve(start, start + 1.0);
+  }
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 0.5), 1.0);    // the [1, 1.5) hole
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 0.6), 149.5);  // no interior hole fits
+  EXPECT_DOUBLE_EQ(t.next_fit(76.0, 0.5), 76.0);  // mid-sequence hole
+  EXPECT_DOUBLE_EQ(t.next_fit(76.2, 0.5), 77.5);  // partially eaten hole
+  EXPECT_EQ(t.busy_intervals().size(), 100u);
+  // Fill one hole and the neighbours merge into a triple-length run.
+  t.reserve(10.0, 10.5);
+  EXPECT_EQ(t.busy_intervals().size(), 99u);
+  EXPECT_DOUBLE_EQ(t.next_fit(9.0, 0.5), 11.5);
+}
+
+/// Eps-touching reservations must merge exactly like exactly-touching
+/// ones, and next_fit may start inside the eps shadow of a busy end.
+TYPED_TEST(TimelineContractTest, EpsTouchingReservations) {
+  TypeParam t;
+  t.reserve(0.0, 1.0);
+  t.reserve(1.0 + 0.5 * kTimeEps, 2.0);  // within tolerance: merges
+  ASSERT_EQ(t.busy_intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.busy_intervals()[0].end, 2.0);
+  // A slot requested within eps *before* the busy end is granted as-is:
+  // the reference scan treats the busy interval as already over.
+  const double ready = 2.0 - 0.5 * kTimeEps;
+  EXPECT_DOUBLE_EQ(t.next_fit(ready, 1.0), ready);
+  // ...but asking well inside the busy interval snaps to its end.
+  EXPECT_DOUBLE_EQ(t.next_fit(1.5, 1.0), 2.0);
+}
+
+/// Zero-duration fits never move and never conflict, even inside busy
+/// intervals or exactly at boundaries.
+TYPED_TEST(TimelineContractTest, ZeroDurationFits) {
+  TypeParam t;
+  t.reserve(0.0, 2.0);
+  t.reserve(3.0, 5.0);
+  for (const double at : {0.0, 1.0, 2.0, 2.5, 3.0, 4.999, 5.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(t.next_fit(at, 0.0), at) << "at=" << at;
+    EXPECT_TRUE(t.is_free(at, at));
+  }
+  // Degenerate reservations are ignored entirely, even inside busy slots.
+  t.reserve(1.0, 1.0);
+  t.reserve(4.0, 4.0 + 0.5 * kTimeEps);
+  EXPECT_EQ(t.busy_intervals().size(), 2u);
+}
+
+/// Backward-jumping readies: after appending at the far end, queries way
+/// back in time must still see the old holes (exercises the gap cursor).
+TYPED_TEST(TimelineContractTest, BackwardJumpsAfterAppends) {
+  TypeParam t;
+  double cursor = 0.0;
+  for (int i = 0; i < 50; ++i) {  // back-to-back appends, hole at [24,25)
+    const double next = (i == 16) ? cursor + 1.0 : cursor;
+    t.reserve(next, next + 1.5);
+    cursor = next + 1.5;
+  }
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 1.0), 24.0);  // the punched hole
+  EXPECT_DOUBLE_EQ(t.next_fit(0.0, 1.5), cursor);
+  EXPECT_DOUBLE_EQ(t.next_fit(10.0, 0.5), 24.0);
+  t.reserve(24.0, 25.0);  // plug it; everything merges into one run
+  EXPECT_EQ(t.busy_intervals().size(), 1u);
 }
 
 TEST(Interval, OverlapSemantics) {
@@ -71,10 +169,48 @@ TEST(Interval, OverlapSemantics) {
   EXPECT_FALSE(overlaps({1.0, 1.0}, {0.0, 9.0}));  // degenerate
 }
 
+// ----------------------------------------------- differential fuzzing
+
+/// Drives both implementations through an identical random op sequence
+/// and demands exactly equal answers and busy structures at every step.
+class TimelineDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineDifferentialTest, ImplementationsAgreeExactly) {
+  SplitMix64 rng(GetParam());
+  Timeline reference;
+  GapTimeline gap;
+  for (int i = 0; i < 400; ++i) {
+    const double ready = rng.uniform(0.0, 60.0);
+    const double duration =
+        rng.below(8) == 0 ? 0.0 : rng.uniform(0.0, 4.0);
+    const double fit_ref = reference.next_fit(ready, duration);
+    const double fit_gap = gap.next_fit(ready, duration);
+    ASSERT_EQ(fit_ref, fit_gap)  // bitwise: no tolerance
+        << "step " << i << " ready=" << ready << " duration=" << duration;
+    const double probe_end = ready + rng.uniform(0.0, 5.0);
+    ASSERT_EQ(reference.is_free(ready, probe_end),
+              gap.is_free(ready, probe_end))
+        << "step " << i;
+    if (rng.below(3) != 0) {  // reserve the found slot 2/3 of the time
+      reference.reserve(fit_ref, fit_ref + duration);
+      gap.reserve(fit_gap, fit_gap + duration);
+    }
+    ASSERT_EQ(reference.busy_intervals(), gap.busy_intervals())
+        << "step " << i;
+    ASSERT_EQ(reference.horizon(), gap.horizon()) << "step " << i;
+  }
+  EXPECT_NEAR(reference.busy_time(), gap.busy_time(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineDifferentialTest,
+                         ::testing::Values<std::uint64_t>(7, 21, 99, 1234,
+                                                          777777));
+
 // --------------------------------------------------------- overlays
 
 TEST(TimelineOverlay, SeesBaseAndExtras) {
-  Timeline base;
+  TimelineIndex base;
   base.reserve(0.0, 2.0);
   TimelineOverlay overlay(base);
   overlay.add(3.0, 5.0);
@@ -84,7 +220,7 @@ TEST(TimelineOverlay, SeesBaseAndExtras) {
 }
 
 TEST(TimelineOverlay, ExtrasDoNotMutateBase) {
-  Timeline base;
+  TimelineIndex base;
   TimelineOverlay overlay(base);
   overlay.add(0.0, 4.0);
   EXPECT_TRUE(base.empty());
@@ -93,7 +229,7 @@ TEST(TimelineOverlay, ExtrasDoNotMutateBase) {
 }
 
 TEST(TimelineOverlay, UnsortedAddsHandled) {
-  Timeline base;
+  TimelineIndex base;
   TimelineOverlay overlay(base);
   overlay.add(6.0, 8.0);
   overlay.add(0.0, 2.0);
@@ -102,17 +238,40 @@ TEST(TimelineOverlay, UnsortedAddsHandled) {
   EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 3.0), 8.0);
 }
 
+TEST(TimelineOverlay, ResetKeepsViewFreshAcrossBases) {
+  TimelineIndex first, second;
+  first.reserve(0.0, 10.0);
+  TimelineOverlay overlay(first);
+  overlay.add(12.0, 14.0);
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 3.0), 14.0);
+  overlay.reset(second);  // extras dropped, base swapped
+  EXPECT_TRUE(overlay.extras().empty());
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 3.0), 0.0);
+}
+
+TEST(TimelineOverlay, ManyExtrasOrderedPass) {
+  TimelineIndex base;
+  base.reserve(0.0, 1.0);
+  TimelineOverlay overlay(base);
+  for (int i = 1; i <= 50; ++i) {  // extras [2i, 2i+1): unit holes between
+    overlay.add(2.0 * i, 2.0 * i + 1.0);
+  }
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(overlay.next_fit(0.0, 1.5), 101.0);  // past every extra
+  EXPECT_DOUBLE_EQ(overlay.next_fit(50.0, 1.0), 51.0);
+}
+
 // --------------------------------------------------------- joint fit
 
 TEST(JointFit, BothFreeImmediately) {
-  Timeline a, b;
+  TimelineIndex a, b;
   TimelineOverlay oa(a), ob(b);
   EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 1.0, 2.0), 1.0);
 }
 
 TEST(JointFit, AlternatingBusySlots) {
   // a busy [0,2), b busy [2,4): the first joint 1-slot is at 4.
-  Timeline a, b;
+  TimelineIndex a, b;
   a.reserve(0.0, 2.0);
   b.reserve(2.0, 4.0);
   TimelineOverlay oa(a), ob(b);
@@ -120,7 +279,7 @@ TEST(JointFit, AlternatingBusySlots) {
 }
 
 TEST(JointFit, FindsSharedHole) {
-  Timeline a, b;
+  TimelineIndex a, b;
   a.reserve(0.0, 1.0);
   a.reserve(4.0, 6.0);
   b.reserve(0.0, 2.0);
@@ -132,21 +291,53 @@ TEST(JointFit, FindsSharedHole) {
 }
 
 TEST(JointFit, ZeroDuration) {
-  Timeline a, b;
+  TimelineIndex a, b;
   a.reserve(0.0, 5.0);
   TimelineOverlay oa(a), ob(b);
   EXPECT_DOUBLE_EQ(earliest_joint_fit(oa, ob, 3.0, 0.0), 3.0);
 }
 
+// ------------------------------------------- implementation selection
+
+TEST(TimelineIndexSelection, ScopedOverrideRoundTrips) {
+  const TimelineImpl before = default_timeline_impl();
+  {
+    ScopedTimelineImpl guard(TimelineImpl::kReference);
+    EXPECT_EQ(default_timeline_impl(), TimelineImpl::kReference);
+    EXPECT_EQ(TimelineIndex().impl(), TimelineImpl::kReference);
+    {
+      ScopedTimelineImpl inner(TimelineImpl::kGapIndexed);
+      EXPECT_EQ(TimelineIndex().impl(), TimelineImpl::kGapIndexed);
+    }
+    EXPECT_EQ(default_timeline_impl(), TimelineImpl::kReference);
+  }
+  EXPECT_EQ(default_timeline_impl(), before);
+  EXPECT_STREQ(timeline_impl_name(TimelineImpl::kReference), "reference");
+  EXPECT_STREQ(timeline_impl_name(TimelineImpl::kGapIndexed),
+               "gap-indexed");
+}
+
+TEST(TimelineIndexSelection, ExplicitImplIgnoresDefault) {
+  ScopedTimelineImpl guard(TimelineImpl::kReference);
+  TimelineIndex gap(TimelineImpl::kGapIndexed);
+  gap.reserve(0.0, 2.0);
+  EXPECT_EQ(gap.impl(), TimelineImpl::kGapIndexed);
+  EXPECT_DOUBLE_EQ(gap.next_fit(0.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gap.horizon(), 2.0);
+  EXPECT_EQ(gap.busy_intervals().size(), 1u);
+}
+
 // --------------------------------------------------------- properties
 
-class TimelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+class TimelinePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
 
 /// next_fit always returns a slot that reserve() accepts, for arbitrary
-/// reservation sequences.
-TEST_P(TimelinePropertyTest, NextFitSlotsAreAlwaysReservable) {
-  SplitMix64 rng(GetParam());
-  Timeline t;
+/// reservation sequences -- on both implementations.
+template <typename T>
+void next_fit_slots_always_reservable(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  T t;
   double total = 0.0;
   for (int i = 0; i < 200; ++i) {
     const double ready = rng.uniform(0.0, 50.0);
@@ -160,19 +351,30 @@ TEST_P(TimelinePropertyTest, NextFitSlotsAreAlwaysReservable) {
   EXPECT_NEAR(t.busy_time(), total, 1e-6);
 }
 
-/// Busy intervals stay sorted and disjoint.
-TEST_P(TimelinePropertyTest, InvariantSortedDisjoint) {
-  SplitMix64 rng(GetParam() + 1000);
-  Timeline t;
+TEST_P(TimelinePropertyTest, NextFitSlotsAreAlwaysReservable) {
+  next_fit_slots_always_reservable<Timeline>(GetParam());
+  next_fit_slots_always_reservable<GapTimeline>(GetParam());
+}
+
+/// Busy intervals stay sorted and disjoint on both implementations.
+template <typename T>
+void invariant_sorted_disjoint(std::uint64_t seed) {
+  SplitMix64 rng(seed + 1000);
+  T t;
   for (int i = 0; i < 150; ++i) {
     const double duration = rng.uniform(0.1, 3.0);
     const double start = t.next_fit(rng.uniform(0.0, 100.0), duration);
     t.reserve(start, start + duration);
   }
-  const auto busy = t.busy();
+  const std::vector<Interval> busy = t.busy_intervals();
   for (std::size_t i = 1; i < busy.size(); ++i) {
     EXPECT_GE(busy[i].start, busy[i - 1].end - kTimeEps);
   }
+}
+
+TEST_P(TimelinePropertyTest, InvariantSortedDisjoint) {
+  invariant_sorted_disjoint<Timeline>(GetParam());
+  invariant_sorted_disjoint<GapTimeline>(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
