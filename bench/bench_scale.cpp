@@ -4,8 +4,13 @@
 //     communication models, once per timeline implementation (reference
 //     sorted-vector vs gap-indexed), so the indexed timelines' win -- and
 //     any future regression -- shows up directly in the timings;
-//   * the figure-grid sweep driver run serially vs with the thread pool,
-//     so the parallel experiment runner is tracked end to end.
+//   * the same schedulers over sparse routed topologies (ring / star /
+//     random connected), so the store-and-forward evaluation path and
+//     the routed finish_lower_bound pruning in evaluate_best are
+//     measured too (ISSUE-3);
+//   * the figure-grid sweep driver run serially vs with the thread pool
+//     -- including a routed grid -- so the parallel experiment runner is
+//     tracked end to end.
 //
 // Schedule makespans are exported as counters: the two timeline
 // implementations must agree bit-identically (the property sweep enforces
@@ -20,6 +25,7 @@
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
 #include "platform/platform.hpp"
+#include "platform/routing.hpp"
 #include "sched/timeline.hpp"
 #include "testbeds/testbeds.hpp"
 #include "util/thread_pool.hpp"
@@ -99,24 +105,98 @@ void register_scheduler_benchmarks() {
   }
 }
 
+void register_routed_benchmarks() {
+  // The paper platform's processors over sparse interconnects.  Transfers
+  // between non-adjacent processors become store-and-forward chains, so
+  // these timings cover the routed evaluation path end to end -- and the
+  // per-impl registration keeps the routed finish_lower_bound pruning
+  // honest across timeline implementations (makespans must match).
+  struct TopologyCase {
+    const char* name;
+    std::uint64_t seed;
+  };
+  const std::vector<TopologyCase> topologies = {
+      {"ring", 1}, {"star", 1}, {"random", 20260729}};
+  for (const int n : {1000, 5000}) {
+    for (const TopologyCase& t : topologies) {
+      for (const bool run_ilha : {false, true}) {
+        for (const TimelineImpl impl :
+             {TimelineImpl::kGapIndexed, TimelineImpl::kReference}) {
+          const std::string name =
+              std::string("routed/") + t.name + "/n=" + std::to_string(n) +
+              "/" + (run_ilha ? "ilha-oneport" : "heft-oneport") + "/" +
+              timeline_impl_name(impl);
+          benchmark::RegisterBenchmark(
+              name.c_str(),
+              [n, t, run_ilha, impl](benchmark::State& state) {
+                const TaskGraph& graph = scale_graph(n);
+                static std::map<std::string, RoutedPlatform>* platforms =
+                    new std::map<std::string, RoutedPlatform>();
+                auto it = platforms->find(t.name);
+                if (it == platforms->end()) {
+                  it = platforms
+                           ->emplace(t.name,
+                                     make_topology_platform(
+                                         t.name,
+                                         paper_platform().cycle_times(),
+                                         /*link=*/1.0, t.seed))
+                           .first;
+                }
+                const RoutedPlatform& routed = it->second;
+                ScopedTimelineImpl guard(impl);
+                double makespan = 0.0;
+                for (auto _ : state) {
+                  const Schedule s =
+                      run_ilha
+                          ? ilha(graph, routed.platform,
+                                 {.model = EftEngine::Model::kOnePort,
+                                  .chunk_size = 38,
+                                  .routing = &routed.routing})
+                          : heft(graph, routed.platform,
+                                 {.model = EftEngine::Model::kOnePort,
+                                  .routing = &routed.routing});
+                  makespan = s.makespan();
+                  benchmark::DoNotOptimize(makespan);
+                }
+                state.counters["makespan"] = makespan;
+                state.counters["tasks_per_s"] = benchmark::Counter(
+                    static_cast<double>(graph.num_tasks()),
+                    benchmark::Counter::kIsIterationInvariantRate);
+              })
+              ->Unit(benchmark::kMillisecond);
+        }
+      }
+    }
+  }
+}
+
 void register_sweep_benchmarks() {
   // A modest figure grid: 2 testbeds x 3 sizes x 2 schedulers = 12
   // points, the shape the figure benches sweep.
   const std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
       {"LU", "FORK-JOIN"}, {100, 200, 300}, {"heft-oneport", "ilha-oneport"});
+  // The same grid over sparse topologies: routed points farm across the
+  // same pool, so the routed platform build + chain scheduling cost is
+  // visible in the driver timing.
+  const std::vector<analysis::SweepPoint> routed_grid =
+      analysis::make_sweep_grid({"LU", "FORK-JOIN"}, {100, 200, 300},
+                                {"heft-oneport", "ilha-oneport"}, 10.0, 38,
+                                {"ring", "star"});
   struct DriverCase {
     const char* name;
     int workers;
+    const std::vector<analysis::SweepPoint>* grid;
   };
   const DriverCase drivers[] = {
-      {"figure-grid/serial", 1},
-      {"figure-grid/parallel", 0},  // 0 = hardware concurrency
+      {"figure-grid/serial", 1, &grid},
+      {"figure-grid/parallel", 0, &grid},  // 0 = hardware concurrency
+      {"figure-grid/routed/parallel", 0, &routed_grid},
   };
   for (const DriverCase& d : drivers) {
     benchmark::RegisterBenchmark(
         d.name,
         // `grid` by value: the benchmark outlives this registration scope.
-        [grid, d](benchmark::State& state) {
+        [grid = *d.grid, d](benchmark::State& state) {
           double total_makespan = 0.0;
           for (auto _ : state) {
             const std::vector<analysis::SweepResult> results =
@@ -142,6 +222,7 @@ void register_sweep_benchmarks() {
 
 int main(int argc, char** argv) {
   register_scheduler_benchmarks();
+  register_routed_benchmarks();
   register_sweep_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,166 @@
+// Command-line sweep driver (ROADMAP item): run the general
+// (topology, testbed, n, scheduler) grid of analysis::run_sweep across
+// the thread pool and write the results as terminal table, CSV, and/or
+// google-benchmark-shaped JSON artifacts (the format bench/run_all.sh
+// collects under bench/out/).
+//
+// Usage:
+//   sweep_cli [--testbeds=LU,STENCIL] [--sizes=100,200,300]
+//             [--schedulers=heft-oneport,ilha-oneport]
+//             [--topologies=full,ring,star,line,random]
+//             [--comm-ratio=10] [--chunk=38] [--workers=0]
+//             [--topology-seed=1] [--no-validate]
+//             [--csv=out.csv] [--json=out.json] [--quiet]
+//
+// Topology "full" schedules on the paper's fully-connected 10-processor
+// platform; the sparse names rebuild that platform's processors over a
+// ring/star/line/random-connected network and schedule store-and-forward
+// chains along its shortest paths.  Every grid point is validated under
+// the model implied by the scheduler name unless --no-validate is given.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "platform/platform.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace oneport;
+
+std::vector<std::string> split_list(const std::string& csv_list) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::vector<int> split_ints(const std::string& csv_list) {
+  std::vector<int> out;
+  for (const std::string& item : split_list(csv_list)) {
+    const int value = std::atoi(item.c_str());
+    ensure(value > 0, "sizes must be positive integers, got '" + item + "'");
+    out.push_back(value);
+  }
+  return out;
+}
+
+/// JSON string escaping for the few metadata fields we emit.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// google-benchmark-shaped JSON: a context header plus one "benchmark"
+/// entry per grid point with the sweep metrics as counters, so tooling
+/// that consumes bench/out/*.json can ingest sweep artifacts unchanged.
+void write_json(std::ostream& os,
+                const std::vector<analysis::SweepResult>& results,
+                int workers) {
+  os << "{\n  \"context\": {\n"
+     << "    \"executable\": \"sweep_cli\",\n"
+     << "    \"workers\": " << workers << "\n"
+     << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const analysis::SweepResult& r = results[i];
+    const std::string name = r.point.topology + "/" + r.point.testbed +
+                             "/n=" + std::to_string(r.point.size) + "/" +
+                             r.point.scheduler;
+    os << "    {\n"
+       << "      \"name\": \"" << json_escape(name) << "\",\n"
+       << "      \"run_type\": \"sweep\",\n"
+       << "      \"tasks\": " << r.num_tasks << ",\n"
+       << "      \"makespan\": " << r.makespan << ",\n"
+       << "      \"ratio\": " << r.speedup << ",\n"
+       << "      \"msgs\": " << r.num_comms << "\n"
+       << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout
+        << "usage: sweep_cli [--testbeds=LU,...] [--sizes=100,...]\n"
+           "                 [--schedulers=heft-oneport,...]\n"
+           "                 [--topologies=full,ring,star,line,random]\n"
+           "                 [--comm-ratio=10] [--chunk=38] [--workers=0]\n"
+           "                 [--topology-seed=1] [--no-validate]\n"
+           "                 [--csv=out.csv] [--json=out.json] [--quiet]\n";
+    return 0;
+  }
+
+  const std::vector<std::string> testbeds =
+      split_list(args.get("testbeds", "LU,FORK-JOIN"));
+  const std::vector<int> sizes = split_ints(args.get("sizes", "100,200"));
+  const std::vector<std::string> schedulers =
+      split_list(args.get("schedulers", "heft-oneport,ilha-oneport"));
+  const std::vector<std::string> topologies =
+      split_list(args.get("topologies", "full"));
+  const double comm_ratio = args.get_double("comm-ratio", 10.0);
+  const int chunk = args.get_int("chunk", 38);
+  const int workers = args.get_int("workers", 0);
+  const auto topology_seed =
+      static_cast<std::uint64_t>(args.get_int("topology-seed", 1));
+  ensure(!testbeds.empty() && !sizes.empty() && !schedulers.empty() &&
+             !topologies.empty(),
+         "every grid axis needs at least one entry");
+
+  std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
+      testbeds, sizes, schedulers, comm_ratio, chunk, topologies);
+  for (analysis::SweepPoint& point : grid) point.topology_seed = topology_seed;
+
+  const Platform platform = make_paper_platform();
+  const std::vector<analysis::SweepResult> results = analysis::run_sweep(
+      grid, platform,
+      {.workers = workers, .validate = !args.has("no-validate")});
+  const csv::Table table = analysis::sweep_table(results);
+
+  if (!args.has("quiet")) {
+    std::cout << "sweep: " << grid.size() << " points, p="
+              << platform.num_processors() << ", c=" << comm_ratio
+              << ", B=" << chunk << "\n";
+    table.write_pretty(std::cout);
+  }
+  if (args.has("csv")) {
+    std::ofstream os(args.get("csv", ""));
+    ensure(os.good(), "cannot open --csv path for writing");
+    table.write_csv(os);
+    if (!args.has("quiet")) {
+      std::cout << "CSV artifact: " << args.get("csv", "") << "\n";
+    }
+  }
+  if (args.has("json")) {
+    std::ofstream os(args.get("json", ""));
+    ensure(os.good(), "cannot open --json path for writing");
+    write_json(os, results, workers);
+    if (!args.has("quiet")) {
+      std::cout << "JSON artifact: " << args.get("json", "") << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_cli: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,11 +1,14 @@
 #include "analysis/experiment.hpp"
 
+#include <optional>
 #include <ostream>
+#include <utility>
 
 #include "analysis/metrics.hpp"
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
 #include "core/registry.hpp"
+#include "platform/routing.hpp"
 #include "sched/validate.hpp"
 #include "testbeds/registry.hpp"
 #include "util/error.hpp"
@@ -105,13 +108,18 @@ std::vector<SweepPoint> make_sweep_grid(
     const std::vector<std::string>& testbed_names,
     const std::vector<int>& sizes,
     const std::vector<std::string>& scheduler_names, double comm_ratio,
-    int chunk_size) {
+    int chunk_size, const std::vector<std::string>& topologies) {
   std::vector<SweepPoint> grid;
-  grid.reserve(testbed_names.size() * sizes.size() * scheduler_names.size());
-  for (const std::string& testbed : testbed_names) {
-    for (const int n : sizes) {
-      for (const std::string& scheduler : scheduler_names) {
-        grid.push_back({testbed, n, scheduler, comm_ratio, chunk_size});
+  grid.reserve(topologies.size() * testbed_names.size() * sizes.size() *
+               scheduler_names.size());
+  for (const std::string& topology : topologies) {
+    for (const std::string& testbed : testbed_names) {
+      for (const int n : sizes) {
+        for (const std::string& scheduler : scheduler_names) {
+          SweepPoint point{testbed, n, scheduler, comm_ratio, chunk_size};
+          point.topology = topology;
+          grid.push_back(std::move(point));
+        }
       }
     }
   }
@@ -127,18 +135,31 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
     const SweepPoint& point = grid[i];
     const testbeds::TestbedEntry testbed =
         testbeds::find_testbed(point.testbed);
-    const SchedulerEntry scheduler =
-        find_scheduler(point.scheduler, point.chunk_size);
     const TaskGraph graph = testbed.make(point.size, point.comm_ratio);
-    const Schedule schedule = scheduler.run(graph, platform);
+
+    // Routed points rebuild the platform per point (cheap next to the
+    // scheduler run) so every grid cell stays a pure function of its
+    // inputs and farms across the pool without shared mutable state.
+    const bool routed = point.topology != "full";
+    std::optional<RoutedPlatform> sparse;
+    if (routed) {
+      sparse = make_topology_platform(point.topology, platform.cycle_times(),
+                                      /*link=*/1.0, point.topology_seed);
+    }
+    const Platform& target = routed ? sparse->platform : platform;
+    const SchedulerEntry scheduler = find_scheduler(
+        point.scheduler,
+        SchedulerConfig{.ilha_chunk_size = point.chunk_size,
+                        .routing = routed ? &sparse->routing : nullptr});
+    const Schedule schedule = scheduler.run(graph, target);
 
     if (options.validate) {
       const ValidationResult result =
           is_one_port(point.scheduler)
-              ? validate_one_port(schedule, graph, platform)
-              : validate_macro_dataflow(schedule, graph, platform);
+              ? validate_one_port(schedule, graph, target)
+              : validate_macro_dataflow(schedule, graph, target);
       ensure(result.ok(), point.scheduler + " schedule invalid for " +
-                              point.testbed + "(" +
+                              point.topology + "/" + point.testbed + "(" +
                               std::to_string(point.size) +
                               "): " + result.message());
     }
@@ -147,18 +168,19 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
     out.point = point;
     out.num_tasks = graph.num_tasks();
     out.makespan = schedule.makespan();
-    out.speedup = speedup(graph, platform, schedule);
+    out.speedup = speedup(graph, target, schedule);
     out.num_comms = schedule.num_comms();
   });
   return results;
 }
 
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {
-  csv::Table table({"testbed", "n", "scheduler", "tasks", "ratio",
-                    "makespan", "msgs"});
+  csv::Table table({"topology", "testbed", "n", "scheduler", "tasks",
+                    "ratio", "makespan", "msgs"});
   for (const SweepResult& r : rows) {
-    table.add_row({r.point.testbed, std::to_string(r.point.size),
-                   r.point.scheduler, std::to_string(r.num_tasks),
+    table.add_row({r.point.topology, r.point.testbed,
+                   std::to_string(r.point.size), r.point.scheduler,
+                   std::to_string(r.num_tasks),
                    csv::format_number(r.speedup),
                    csv::format_number(r.makespan, 0),
                    std::to_string(r.num_comms)});

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -57,13 +58,19 @@ void print_figure(std::ostream& os, const std::string& title,
 
 // ------------------------------------------------- general grid sweeps
 
-/// One (testbed, n, scheduler) cell of a sweep grid.
+/// One (topology, testbed, n, scheduler) cell of a sweep grid.
 struct SweepPoint {
   std::string testbed;    ///< testbeds registry name, e.g. "LU"
   int size = 100;         ///< problem size n
   std::string scheduler;  ///< scheduler registry name, e.g. "heft-oneport"
   double comm_ratio = 10.0;
   int chunk_size = 38;  ///< ILHA's B (ignored by other schedulers)
+  /// Network shape: "full" schedules on the platform passed to run_sweep
+  /// (no routing); "ring", "star", "line", or "random" rebuild a sparse
+  /// platform from that platform's cycle times (unit base link cost) and
+  /// schedule store-and-forward chains along its shortest paths.
+  std::string topology = "full";
+  std::uint64_t topology_seed = 1;  ///< seed for the "random" topology
 };
 
 struct SweepResult {
@@ -82,12 +89,14 @@ struct SweepOptions {
   bool validate = true;
 };
 
-/// Builds the full cross product testbeds x sizes x schedulers.
+/// Builds the full cross product topologies x testbeds x sizes x
+/// schedulers (topology outermost; defaults to fully connected only).
 [[nodiscard]] std::vector<SweepPoint> make_sweep_grid(
     const std::vector<std::string>& testbed_names,
     const std::vector<int>& sizes,
     const std::vector<std::string>& scheduler_names,
-    double comm_ratio = 10.0, int chunk_size = 38);
+    double comm_ratio = 10.0, int chunk_size = 38,
+    const std::vector<std::string>& topologies = {"full"});
 
 /// Runs every grid point (in parallel per SweepOptions::workers) and
 /// returns results in grid order.

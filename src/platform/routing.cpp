@@ -1,8 +1,10 @@
 #include "platform/routing.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace oneport {
 
@@ -11,6 +13,7 @@ RoutingTable RoutingTable::shortest_paths(const Platform& platform) {
   const auto n = static_cast<std::size_t>(p);
   Matrix<double> dist(n, n, kNoLink);
   Matrix<int> next(n, n, -1);
+  Matrix<int> hops(n, n, 0);
   for (int q = 0; q < p; ++q) {
     dist(static_cast<std::size_t>(q), static_cast<std::size_t>(q)) = 0.0;
     next(static_cast<std::size_t>(q), static_cast<std::size_t>(q)) = q;
@@ -20,18 +23,31 @@ RoutingTable RoutingTable::shortest_paths(const Platform& platform) {
       if (std::isfinite(l)) {
         dist(static_cast<std::size_t>(q), static_cast<std::size_t>(r)) = l;
         next(static_cast<std::size_t>(q), static_cast<std::size_t>(r)) = r;
+        hops(static_cast<std::size_t>(q), static_cast<std::size_t>(r)) = 1;
       }
     }
   }
-  // Floyd-Warshall; strict improvement keeps the smallest-intermediate
-  // route on ties, which makes path() deterministic.
+  // Floyd-Warshall with exact cost comparisons.  An epsilon-strict test
+  // here would silently keep a stale route when a genuinely shorter one
+  // is within the tolerance, making route choice depend on accumulation
+  // order.  Equal-cost routes are broken explicitly and deterministically:
+  // fewer hops first (store-and-forward latency grows with the hop
+  // count), then the smallest next hop.
   for (std::size_t k = 0; k < n; ++k) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (!std::isfinite(dist(i, k))) continue;
+      if (i == k || !std::isfinite(dist(i, k))) continue;
       for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || j == k || !std::isfinite(dist(k, j))) continue;
         const double via = dist(i, k) + dist(k, j);
-        if (via < dist(i, j) - 1e-12) {
+        const int via_hops = hops(i, k) + hops(k, j);
+        const bool improves =
+            via < dist(i, j) ||
+            (via == dist(i, j) &&
+             (via_hops < hops(i, j) ||
+              (via_hops == hops(i, j) && next(i, k) < next(i, j))));
+        if (improves) {
           dist(i, j) = via;
+          hops(i, j) = via_hops;
           next(i, j) = next(i, k);
         }
       }
@@ -43,6 +59,16 @@ RoutingTable RoutingTable::shortest_paths(const Platform& platform) {
                  "network is disconnected: no route P" << i << " -> P" << j);
     }
   }
+  return RoutingTable(p, std::move(dist), std::move(next));
+}
+
+RoutingTable RoutingTable::from_tables(int p, Matrix<double> dist,
+                                       Matrix<int> next) {
+  const auto n = static_cast<std::size_t>(p);
+  OP_REQUIRE(p > 0, "need at least one processor");
+  OP_REQUIRE(dist.rows() == n && dist.cols() == n && next.rows() == n &&
+                 next.cols() == n,
+             "table shape does not match the processor count");
   return RoutingTable(p, std::move(dist), std::move(next));
 }
 
@@ -60,10 +86,13 @@ void RoutingTable::path_into(ProcId from, ProcId to,
   out.push_back(from);
   ProcId cur = from;
   while (cur != to) {
+    // A loop-free path visits each processor at most once, so a valid
+    // route has at most p_ entries; checked *before* pushing so a cyclic
+    // table can never emit more than p_ hops.
+    OP_ASSERT(out.size() < static_cast<std::size_t>(p_),
+              "routing loop detected");
     cur = next_(static_cast<std::size_t>(cur), static_cast<std::size_t>(to));
     OP_ASSERT(cur >= 0, "routing table has a hole");
-    OP_ASSERT(out.size() <= static_cast<std::size_t>(p_),
-              "routing loop detected");
     out.push_back(cur);
   }
 }
@@ -114,6 +143,81 @@ RoutedPlatform make_star_platform(std::vector<double> cycle_times,
   Platform platform(std::move(cycle_times), std::move(m));
   RoutingTable routing = RoutingTable::shortest_paths(platform);
   return {std::move(platform), std::move(routing)};
+}
+
+RoutedPlatform make_line_platform(std::vector<double> cycle_times,
+                                  double link) {
+  const auto n = cycle_times.size();
+  OP_REQUIRE(n >= 2, "a line needs at least two processors");
+  OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  Matrix<double> m(n, n, kNoLink);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = 0.0;
+    if (i + 1 < n) {
+      m(i, i + 1) = link;
+      m(i + 1, i) = link;
+    }
+  }
+  Platform platform(std::move(cycle_times), std::move(m));
+  RoutingTable routing = RoutingTable::shortest_paths(platform);
+  return {std::move(platform), std::move(routing)};
+}
+
+RoutedPlatform make_random_connected_platform(std::vector<double> cycle_times,
+                                              double edge_probability,
+                                              std::uint64_t seed,
+                                              double link_lo, double link_hi) {
+  const auto n = cycle_times.size();
+  OP_REQUIRE(n >= 2, "a random network needs at least two processors");
+  OP_REQUIRE(edge_probability >= 0.0 && edge_probability <= 1.0,
+             "edge probability must be in [0, 1]");
+  OP_REQUIRE(link_lo > 0.0 && link_hi >= link_lo && std::isfinite(link_hi),
+             "link cost range must be positive and finite");
+  SplitMix64 rng(seed * 0x2545F4914F6CDD1DULL + 0x9E3779B97F4A7C15ULL);
+  const auto draw = [&] {
+    return link_lo == link_hi ? link_lo : rng.uniform(link_lo, link_hi);
+  };
+  Matrix<double> m(n, n, kNoLink);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
+  // Random spanning tree first (connectivity), extra edges second.
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t parent = rng.below(i);
+    const double cost = draw();
+    m(i, parent) = cost;
+    m(parent, i) = cost;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Always consume one draw per pair so the topology of edge (i, j)
+      // does not shift every later cost when the spanning tree changes.
+      const double toss = rng.uniform01();
+      if (std::isfinite(m(i, j)) || toss >= edge_probability) continue;
+      const double cost = draw();
+      m(i, j) = cost;
+      m(j, i) = cost;
+    }
+  }
+  Platform platform(std::move(cycle_times), std::move(m));
+  RoutingTable routing = RoutingTable::shortest_paths(platform);
+  return {std::move(platform), std::move(routing)};
+}
+
+RoutedPlatform make_topology_platform(const std::string& topology,
+                                      std::vector<double> cycle_times,
+                                      double link, std::uint64_t seed) {
+  if (topology == "ring") return make_ring_platform(std::move(cycle_times), link);
+  if (topology == "star") return make_star_platform(std::move(cycle_times), link);
+  if (topology == "line") return make_line_platform(std::move(cycle_times), link);
+  if (topology == "random") {
+    return make_random_connected_platform(std::move(cycle_times),
+                                          /*edge_probability=*/0.35, seed,
+                                          0.5 * link, 1.5 * link);
+  }
+  OP_REQUIRE(false, "unknown topology '"
+                        << topology
+                        << "'; known: ring, star, line, random");
+  // Unreachable; OP_REQUIRE above always throws.
+  return make_ring_platform(std::move(cycle_times), link);
 }
 
 }  // namespace oneport

@@ -11,7 +11,9 @@
 // and the hop receiver's receive port under the one-port rules.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -26,7 +28,19 @@ class RoutingTable {
   /// All-pairs shortest paths over the finite entries of
   /// `platform.link()`.  Throws std::invalid_argument if some processor
   /// pair is unreachable.
+  ///
+  /// Comparisons are exact; equal-cost routes are broken deterministically
+  /// by (fewer hops, then smallest next hop), so the chosen paths do not
+  /// depend on floating-point accumulation order.
   static RoutingTable shortest_paths(const Platform& platform);
+
+  /// Unchecked construction from precomputed tables -- for externally
+  /// supplied routing policies and for tests that need to exercise the
+  /// defensive checks.  `dist(i,j)` is the per-item cost and `next(i,j)`
+  /// the first hop from i toward j (with next(i,i) == i).  Nothing is
+  /// validated here; path_into() throws on holes and routing loops.
+  static RoutingTable from_tables(int p, Matrix<double> dist,
+                                  Matrix<int> next);
 
   /// Full processor path from `from` to `to`, both endpoints included
   /// (so path(q, q) == {q} and adjacent pairs give {q, r}).
@@ -69,5 +83,27 @@ struct RoutedPlatform {
 /// Star: processor 0 is the hub; spokes only connect through it.
 [[nodiscard]] RoutedPlatform make_star_platform(std::vector<double> cycle_times,
                                                 double link = 1.0);
+
+/// Line (path graph): processor i links only to i-1 and i+1 -- the
+/// sparsest connected topology; the 2-processor case is the degenerate
+/// "one cable" network.
+[[nodiscard]] RoutedPlatform make_line_platform(std::vector<double> cycle_times,
+                                                double link = 1.0);
+
+/// Random connected network: a random spanning tree (so every pair is
+/// reachable) plus each remaining undirected edge independently with
+/// probability `edge_probability`; symmetric link costs are drawn
+/// uniformly from [link_lo, link_hi).  Deterministic in `seed`.
+[[nodiscard]] RoutedPlatform make_random_connected_platform(
+    std::vector<double> cycle_times, double edge_probability,
+    std::uint64_t seed, double link_lo = 1.0, double link_hi = 1.0);
+
+/// Name-based factory for sweep axes: "ring", "star", "line", or
+/// "random" (spanning tree + 35% extra edges, costs in [0.5, 1.5)*link,
+/// seeded by `seed`).  Fully-connected sweeps should bypass routing
+/// instead of asking for a "full" topology here.
+[[nodiscard]] RoutedPlatform make_topology_platform(
+    const std::string& topology, std::vector<double> cycle_times,
+    double link = 1.0, std::uint64_t seed = 1);
 
 }  // namespace oneport

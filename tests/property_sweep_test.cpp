@@ -4,6 +4,12 @@
 // through the full invariant battery of tests/support/invariants.hpp:
 // validation, makespan lower bounds, replay dominance, serialize
 // round-trip, and communication bounds.
+//
+// Scenarios come in two flavours: fully-connected platforms
+// (scenario_sweep) and sparse routed topologies -- ring, star, random
+// connected, line, two-node -- where messages between non-adjacent
+// processors are store-and-forward chains validated hop by hop against
+// the scenario's RoutingTable (routed_scenario_sweep).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -32,15 +38,16 @@ CommModel model_of(const SchedulerEntry& entry) {
 }
 
 // A small chunk size exercises ILHA's load-balancing quota far more
-// than the paper's default of 38 on these small DAGs.
-const std::vector<SchedulerEntry>& registry() {
-  static const std::vector<SchedulerEntry> entries =
-      builtin_schedulers(/*ilha_chunk_size=*/5);
-  return entries;
+// than the paper's default of 38 on these small DAGs.  The registry is
+// rebuilt per scenario so routed scenarios thread their RoutingTable to
+// every heuristic.
+std::vector<SchedulerEntry> registry_for(const Scenario& scenario) {
+  return builtin_schedulers(SchedulerConfig{
+      .ilha_chunk_size = 5, .routing = scenario.routing_ptr()});
 }
 
 void sweep_scenario(const Scenario& scenario) {
-  for (const SchedulerEntry& entry : registry()) {
+  for (const SchedulerEntry& entry : registry_for(scenario)) {
     SCOPED_TRACE(scenario.description + " scheduler=" + entry.name);
     const Schedule schedule = entry.run(scenario.graph, scenario.platform);
     const std::vector<std::string> violations =
@@ -68,6 +75,24 @@ TEST(PropertySweepEdgeCases, AllHeuristicsSatisfyAllInvariants) {
   }
 }
 
+// Sparse-topology axis (the ISSUE-3 tentpole): every heuristic under
+// both communication models over ring / star / random-connected / line /
+// two-node networks, with store-and-forward chains checked hop by hop
+// against the scenario's RoutingTable by the invariant battery.
+class RoutedPropertySweepTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutedPropertySweepTest, AllHeuristicsSatisfyAllInvariants) {
+  const std::uint64_t base = GetParam();
+  for (const Scenario& scenario : testsupport::routed_scenario_sweep(base, 5)) {
+    sweep_scenario(scenario);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutedPropertySweepTest,
+                         ::testing::Values<std::uint64_t>(131, 233, 337,
+                                                          433, 541));
+
 // Extended mode for CI/nightly: ONEPORT_SWEEP_SEEDS=<count> deepens the
 // default 7x6 sweep with <count> extra seeded sweeps -- no rebuild
 // needed, just the environment variable.
@@ -83,6 +108,10 @@ TEST(PropertySweepExtended, HonorsEnvSeedCount) {
     for (const Scenario& scenario : testsupport::scenario_sweep(base, 6)) {
       sweep_scenario(scenario);
     }
+    for (const Scenario& scenario :
+         testsupport::routed_scenario_sweep(base + 7, 5)) {
+      sweep_scenario(scenario);
+    }
   }
 }
 
@@ -91,14 +120,20 @@ TEST(PropertySweepExtended, HonorsEnvSeedCount) {
 // BIT-IDENTICAL schedules (placements and messages compared with exact
 // double equality) for every registered heuristic under both
 // communication models.  Any divergence means the gap index changed
-// scheduling behavior, not just speed.
+// scheduling behavior, not just speed.  Routed scenarios ride the same
+// pin: the store-and-forward code path (and the routed
+// finish_lower_bound pruning behind it) must not depend on the timeline
+// implementation either.
 TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
   std::vector<Scenario> scenarios = testsupport::scenario_sweep(8087, 8);
   for (Scenario& scenario : testsupport::edge_case_scenarios()) {
     scenarios.push_back(std::move(scenario));
   }
+  for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 5)) {
+    scenarios.push_back(std::move(scenario));
+  }
   for (const Scenario& scenario : scenarios) {
-    for (const SchedulerEntry& entry : registry()) {
+    for (const SchedulerEntry& entry : registry_for(scenario)) {
       SCOPED_TRACE(scenario.description + " scheduler=" + entry.name);
       Schedule reference;
       Schedule indexed;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
 #include "platform/routing.hpp"
@@ -35,6 +37,106 @@ TEST(RoutingTable, DisconnectedNetworkRejected) {
   link(0, 1) = link(1, 0) = 1.0;  // P2 unreachable
   const Platform p({1.0, 1.0, 1.0}, std::move(link));
   EXPECT_THROW(RoutingTable::shortest_paths(p), std::invalid_argument);
+}
+
+TEST(RoutingTable, LineAndTwoNodePaths) {
+  const RoutedPlatform line = make_line_platform({1, 1, 1, 1}, 1.0);
+  EXPECT_EQ(line.routing.path(0, 3), (std::vector<ProcId>{0, 1, 2, 3}));
+  EXPECT_EQ(line.routing.path(3, 1), (std::vector<ProcId>{3, 2, 1}));
+  EXPECT_DOUBLE_EQ(line.routing.distance(0, 3), 3.0);
+
+  const RoutedPlatform cable = make_line_platform({2, 3}, 0.5);
+  EXPECT_TRUE(cable.routing.direct(0, 1));
+  EXPECT_EQ(cable.routing.path(1, 0), (std::vector<ProcId>{1, 0}));
+}
+
+TEST(RoutingTable, RandomConnectedIsConnectedAndDeterministic) {
+  const std::vector<double> cycles{1, 1, 2, 2, 3, 3};
+  const RoutedPlatform a =
+      make_random_connected_platform(cycles, 0.3, 42, 0.5, 2.0);
+  const RoutedPlatform b =
+      make_random_connected_platform(cycles, 0.3, 42, 0.5, 2.0);
+  for (ProcId q = 0; q < 6; ++q) {
+    for (ProcId r = 0; r < 6; ++r) {
+      // Connectivity is guaranteed by the spanning tree ...
+      EXPECT_TRUE(std::isfinite(a.routing.distance(q, r)));
+      // ... and the whole build is a pure function of the seed.
+      EXPECT_EQ(a.platform.link(q, r), b.platform.link(q, r));
+      EXPECT_EQ(a.routing.path(q, r), b.routing.path(q, r));
+    }
+  }
+}
+
+TEST(RoutingTable, TopologyFactoryDispatchesAndRejects) {
+  const std::vector<double> cycles{1, 1, 1, 1};
+  EXPECT_EQ(make_topology_platform("ring", cycles).routing.path(0, 2).size(),
+            3u);
+  EXPECT_EQ(make_topology_platform("star", cycles).routing.path(1, 3),
+            (std::vector<ProcId>{1, 0, 3}));
+  EXPECT_EQ(make_topology_platform("line", cycles).routing.path(0, 3).size(),
+            4u);
+  EXPECT_NO_THROW(make_topology_platform("random", cycles, 1.0, 7));
+  EXPECT_THROW(make_topology_platform("torus", cycles),
+               std::invalid_argument);
+}
+
+// Regression (ISSUE-3): the loop-detection assert used to fire only
+// after p+1 hops had been emitted; it must fire *before* the table can
+// emit more entries than there are processors.
+TEST(RoutingTable, CyclicTableFiresLoopAssertWithinPEntries) {
+  Matrix<double> dist(3, 3, 1.0);
+  Matrix<int> next(3, 3, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    next(i, i) = static_cast<int>(i);
+  }
+  // Deliberately corrupt: routes toward P2 bounce 0 <-> 1 forever.
+  next(0, 2) = 1;
+  next(1, 2) = 0;
+  const RoutingTable table =
+      RoutingTable::from_tables(3, std::move(dist), std::move(next));
+  std::vector<ProcId> out;
+  EXPECT_THROW(table.path_into(0, 2, out), std::logic_error);
+  // Pre-fix the walk pushed {0, 1, 0, 1} before noticing the loop.
+  EXPECT_LE(out.size(), 3u);
+}
+
+// Regression (ISSUE-3): shortest_paths compared with an 1e-12 epsilon,
+// so a route genuinely shorter by less than that kept the stale (longer)
+// path and the stale distance.
+TEST(RoutingTable, ExactComparisonCatchesTinyImprovements) {
+  const double detour_leg = 1.0 - 1e-13;
+  Matrix<double> link(3, 3, kNoLink);
+  for (std::size_t i = 0; i < 3; ++i) link(i, i) = 0.0;
+  link(0, 1) = link(1, 0) = 1.0;
+  link(1, 2) = link(2, 1) = detour_leg;
+  link(0, 2) = link(2, 0) = 2.0;
+  const Platform p({1.0, 1.0, 1.0}, std::move(link));
+  const RoutingTable routing = RoutingTable::shortest_paths(p);
+  EXPECT_EQ(routing.path(0, 2), (std::vector<ProcId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(routing.distance(0, 2), 1.0 + detour_leg);
+}
+
+// Golden paths on equal-cost routes: ties break toward fewer hops, then
+// the smallest next hop, independent of accumulation order.
+TEST(RoutingTable, EqualCostTieBreaksAreDeterministic) {
+  // Even ring: both directions to the antipode cost the same; the route
+  // through the smaller neighbour wins.
+  const RoutedPlatform ring = make_ring_platform({1, 1, 1, 1}, 1.0);
+  EXPECT_EQ(ring.routing.path(0, 2), (std::vector<ProcId>{0, 1, 2}));
+  EXPECT_EQ(ring.routing.path(1, 3), (std::vector<ProcId>{1, 0, 3}));
+  EXPECT_EQ(ring.routing.path(3, 1), (std::vector<ProcId>{3, 0, 1}));
+
+  // Direct link exactly as expensive as a two-hop detour: fewer hops win
+  // (store-and-forward latency grows with every hop).
+  Matrix<double> link(3, 3, kNoLink);
+  for (std::size_t i = 0; i < 3; ++i) link(i, i) = 0.0;
+  link(0, 1) = link(1, 0) = 1.0;
+  link(1, 2) = link(2, 1) = 1.0;
+  link(0, 2) = link(2, 0) = 2.0;
+  const Platform p({1.0, 1.0, 1.0}, std::move(link));
+  const RoutingTable routing = RoutingTable::shortest_paths(p);
+  EXPECT_EQ(routing.path(0, 2), (std::vector<ProcId>{0, 2}));
+  EXPECT_DOUBLE_EQ(routing.distance(0, 2), 2.0);
 }
 
 TEST(RoutingTable, PicksCheapestRoute) {

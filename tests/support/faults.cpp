@@ -1,0 +1,203 @@
+#include "support/faults.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace oneport::testsupport {
+namespace {
+
+/// Rebuilds a Schedule value from raw placement vectors (the Schedule
+/// API deliberately has no mutating accessors).
+Schedule rebuild(const std::vector<TaskPlacement>& tasks,
+                 const std::vector<CommPlacement>& comms) {
+  Schedule out(tasks.size());
+  for (TaskId v = 0; v < tasks.size(); ++v) {
+    out.place_task(v, tasks[v].proc, tasks[v].start, tasks[v].finish);
+  }
+  for (const CommPlacement& c : comms) out.add_comm(c);
+  return out;
+}
+
+/// Message indices grouped by edge, each group in chain (start) order.
+std::map<std::pair<TaskId, TaskId>, std::vector<std::size_t>> chains_of(
+    const std::vector<CommPlacement>& comms) {
+  std::map<std::pair<TaskId, TaskId>, std::vector<std::size_t>> chains;
+  for (std::size_t c = 0; c < comms.size(); ++c) {
+    chains[{comms[c].src, comms[c].dst}].push_back(c);
+  }
+  for (auto& [key, chain] : chains) {
+    std::sort(chain.begin(), chain.end(),
+              [&comms](std::size_t a, std::size_t b) {
+                return comms[a].start < comms[b].start;
+              });
+  }
+  return chains;
+}
+
+/// Shifts comms[later] so it strictly overlaps comms[earlier].
+Schedule overlap_messages(const Schedule& schedule, std::size_t earlier,
+                          std::size_t later) {
+  std::vector<CommPlacement> comms = schedule.comms();
+  const double duration = comms[later].finish - comms[later].start;
+  const double mid =
+      0.5 * (comms[earlier].start + comms[earlier].finish);
+  comms[later].start = mid;
+  comms[later].finish = mid + duration;
+  return rebuild(schedule.tasks(), comms);
+}
+
+/// First pair of distinct non-degenerate messages sharing a port, by the
+/// given port-of-message projection; throws when there is none.
+std::pair<std::size_t, std::size_t> shared_port_pair(
+    const std::vector<CommPlacement>& comms, ProcId CommPlacement::*port) {
+  for (std::size_t a = 0; a < comms.size(); ++a) {
+    if (comms[a].finish <= comms[a].start) continue;
+    for (std::size_t b = a + 1; b < comms.size(); ++b) {
+      if (comms[b].finish <= comms[b].start) continue;
+      if (comms[a].*port != comms[b].*port) continue;
+      return comms[a].start <= comms[b].start ? std::pair{a, b}
+                                              : std::pair{b, a};
+    }
+  }
+  OP_REQUIRE(false, "no two messages share that port");
+  return {0, 0};  // unreachable
+}
+
+}  // namespace
+
+Schedule drop_chain_hop(const Schedule& schedule) {
+  const std::vector<CommPlacement>& comms = schedule.comms();
+  for (const auto& [key, chain] : chains_of(comms)) {
+    if (chain.size() < 2) continue;
+    std::vector<CommPlacement> mutated;
+    for (std::size_t c = 0; c < comms.size(); ++c) {
+      if (c != chain[1]) mutated.push_back(comms[c]);
+    }
+    return rebuild(schedule.tasks(), mutated);
+  }
+  OP_REQUIRE(false, "no multi-hop chain to drop a hop from");
+  return schedule;  // unreachable
+}
+
+Schedule drop_edge_messages(const Schedule& schedule) {
+  const std::vector<CommPlacement>& comms = schedule.comms();
+  OP_REQUIRE(!comms.empty(), "no message to drop");
+  const TaskId src = comms.front().src;
+  const TaskId dst = comms.front().dst;
+  std::vector<CommPlacement> mutated;
+  for (const CommPlacement& c : comms) {
+    if (c.src != src || c.dst != dst) mutated.push_back(c);
+  }
+  return rebuild(schedule.tasks(), mutated);
+}
+
+Schedule shift_receive_before_send(const Schedule& schedule) {
+  const std::vector<CommPlacement>& comms = schedule.comms();
+  for (const auto& [key, chain] : chains_of(comms)) {
+    const CommPlacement& first = comms[chain.front()];
+    const double src_finish = schedule.task(first.src).finish;
+    std::vector<CommPlacement> mutated = comms;
+    CommPlacement& m = mutated[chain.front()];
+    const double duration = m.finish - m.start;
+    // Strictly before the source finishes, by a full time unit, so the
+    // violation is beyond every epsilon tolerance.
+    m.start = src_finish - duration - 1.0;
+    m.finish = m.start + duration;
+    return rebuild(schedule.tasks(), mutated);
+  }
+  OP_REQUIRE(false, "no message to shift");
+  return schedule;  // unreachable
+}
+
+Schedule overlap_send_port(const Schedule& schedule) {
+  const auto [earlier, later] =
+      shared_port_pair(schedule.comms(), &CommPlacement::from);
+  return overlap_messages(schedule, earlier, later);
+}
+
+Schedule overlap_recv_port(const Schedule& schedule) {
+  const auto [earlier, later] =
+      shared_port_pair(schedule.comms(), &CommPlacement::to);
+  return overlap_messages(schedule, earlier, later);
+}
+
+Schedule overlap_compute(const Schedule& schedule) {
+  const std::vector<TaskPlacement>& tasks = schedule.tasks();
+  for (TaskId a = 0; a < tasks.size(); ++a) {
+    for (TaskId b = a + 1; b < tasks.size(); ++b) {
+      if (tasks[a].proc != tasks[b].proc) continue;
+      const TaskId earlier = tasks[a].start <= tasks[b].start ? a : b;
+      const TaskId later = earlier == a ? b : a;
+      std::vector<TaskPlacement> mutated = tasks;
+      const double duration =
+          mutated[later].finish - mutated[later].start;
+      const double mid =
+          0.5 * (mutated[earlier].start + mutated[earlier].finish);
+      mutated[later].start = mid;
+      mutated[later].finish = mid + duration;
+      return rebuild(mutated, schedule.comms());
+    }
+  }
+  OP_REQUIRE(false, "no two tasks share a processor");
+  return schedule;  // unreachable
+}
+
+Schedule stretch_task_duration(const Schedule& schedule) {
+  std::vector<TaskPlacement> tasks = schedule.tasks();
+  OP_REQUIRE(!tasks.empty(), "no task to stretch");
+  TaskPlacement& t = tasks.front();
+  t.finish += 0.5 * (t.finish - t.start) + 1.0;
+  return rebuild(tasks, schedule.comms());
+}
+
+Schedule misplace_task(const Schedule& schedule, int bad_proc) {
+  std::vector<TaskPlacement> tasks = schedule.tasks();
+  OP_REQUIRE(!tasks.empty(), "no task to misplace");
+  tasks.front().proc = bad_proc;
+  return rebuild(tasks, schedule.comms());
+}
+
+Schedule duplicate_message(const Schedule& schedule) {
+  std::vector<CommPlacement> comms = schedule.comms();
+  OP_REQUIRE(!comms.empty(), "no message to duplicate");
+  comms.push_back(comms.front());
+  return rebuild(schedule.tasks(), comms);
+}
+
+Schedule reroute_chain_hop(const Schedule& schedule, ProcId via) {
+  const std::vector<CommPlacement>& comms = schedule.comms();
+  for (const auto& [key, chain] : chains_of(comms)) {
+    if (chain.size() != 2) continue;
+    OP_REQUIRE(via != comms[chain[0]].to,
+               "`via` is already the chain's intermediate");
+    OP_REQUIRE(via != comms[chain[0]].from && via != comms[chain[1]].to,
+               "`via` must be a third processor");
+    std::vector<CommPlacement> mutated = comms;
+    mutated[chain[0]].to = via;
+    mutated[chain[1]].from = via;
+    return rebuild(schedule.tasks(), mutated);
+  }
+  OP_REQUIRE(false, "no exactly-two-hop chain to reroute");
+  return schedule;  // unreachable
+}
+
+Schedule compress_schedule(const Schedule& schedule, double factor) {
+  OP_REQUIRE(factor > 0.0 && factor < 1.0, "factor must be in (0, 1)");
+  std::vector<TaskPlacement> tasks = schedule.tasks();
+  std::vector<CommPlacement> comms = schedule.comms();
+  for (TaskPlacement& t : tasks) {
+    t.start *= factor;
+    t.finish *= factor;
+  }
+  for (CommPlacement& c : comms) {
+    c.start *= factor;
+    c.finish *= factor;
+  }
+  return rebuild(tasks, comms);
+}
+
+}  // namespace oneport::testsupport

@@ -1,0 +1,74 @@
+// Deterministic schedule mutators for validator fault-injection tests.
+//
+// Each mutator copies a *valid* schedule and injects exactly one targeted
+// rule violation, so a test can assert that the corresponding checker --
+// and only a deliberately chosen checker -- flags it.  Mutators throw
+// std::invalid_argument when the schedule has no site to mutate (e.g. no
+// multi-hop chain to drop a hop from): a fault test that silently checks
+// nothing is worse than a failing one.
+//
+// Mutator -> targeted rule (see sched/validate.hpp and
+// support/invariants.hpp):
+//   drop_chain_hop            M5: a store-and-forward chain no longer
+//                             reaches the sink's processor
+//   drop_edge_messages        M4: cross-processor edge with no message
+//   shift_receive_before_send M4: first hop starts before the source
+//                             task finishes
+//   overlap_send_port         O1: two messages overlap on a send port
+//   overlap_recv_port         O2: two messages overlap on a receive port
+//   overlap_compute           M3: two tasks overlap on one processor
+//   stretch_task_duration     M2: task duration != w * t
+//   misplace_task             M1: task placed on an invalid processor
+//   duplicate_message         P5: two messages for one direct edge
+//   reroute_chain_hop         P5: chain deviates from the routed path
+//                             (stays M1-M5/O1-O2 clean on symmetric-cost
+//                             topologies -- only the routing-aware
+//                             invariant can catch it)
+//   compress_schedule         P2: makespan beats the lower bounds
+#pragma once
+
+#include "sched/schedule.hpp"
+
+namespace oneport::testsupport {
+
+/// Removes the second hop of the first multi-hop chain.
+[[nodiscard]] Schedule drop_chain_hop(const Schedule& schedule);
+
+/// Removes every message of the first cross-processor edge.
+[[nodiscard]] Schedule drop_edge_messages(const Schedule& schedule);
+
+/// Moves the first chain-leading message to start strictly before its
+/// source task finishes (duration preserved).
+[[nodiscard]] Schedule shift_receive_before_send(const Schedule& schedule);
+
+/// Shifts the later of two messages sharing a send port onto the earlier.
+[[nodiscard]] Schedule overlap_send_port(const Schedule& schedule);
+
+/// Shifts the later of two messages sharing a receive port onto the
+/// earlier.
+[[nodiscard]] Schedule overlap_recv_port(const Schedule& schedule);
+
+/// Shifts the later of two tasks sharing a processor onto the earlier.
+[[nodiscard]] Schedule overlap_compute(const Schedule& schedule);
+
+/// Stretches the duration of the first task by 50% plus one time unit.
+[[nodiscard]] Schedule stretch_task_duration(const Schedule& schedule);
+
+/// Moves the first task to processor id `bad_proc` (pass the platform's
+/// processor count for an out-of-range placement).
+[[nodiscard]] Schedule misplace_task(const Schedule& schedule, int bad_proc);
+
+/// Appends a verbatim copy of the first message.
+[[nodiscard]] Schedule duplicate_message(const Schedule& schedule);
+
+/// Redirects the first exactly-two-hop chain through `via` instead of its
+/// scheduled intermediate (hop durations are preserved, so on topologies
+/// with symmetric link costs the result still satisfies M1-M5).
+[[nodiscard]] Schedule reroute_chain_hop(const Schedule& schedule,
+                                         ProcId via);
+
+/// Scales every task and message date by `factor` (in (0, 1)).
+[[nodiscard]] Schedule compress_schedule(const Schedule& schedule,
+                                         double factor);
+
+}  // namespace oneport::testsupport

@@ -18,9 +18,12 @@
 //      macro-dataflow rules never increases it either;
 //   P4 serialize round-trip: graph and schedule survive a write -> read
 //      cycle bit-exactly;
-//   P5 communication bounds: every message maps to a distinct
-//      cross-processor edge (so #comms <= #edges, and 0 on a
-//      single-processor platform).
+//   P5 communication bounds: every message maps to a cross-processor
+//      edge; on fully-connected platforms each such edge carries exactly
+//      one direct message (so #comms <= #edges, and 0 on a
+//      single-processor platform), while on routed platforms each edge's
+//      messages must be exactly the hops of the scenario's RoutingTable
+//      path between the endpoint processors, in order.
 #pragma once
 
 #include <string>
@@ -51,7 +54,9 @@ namespace oneport::testsupport {
 [[nodiscard]] std::vector<std::string> check_serialize_round_trip(
     const Scenario& scenario, const Schedule& schedule, CommModel model);
 
-/// P5: messages biject into a subset of the cross-processor edges.
+/// P5: messages biject into a subset of the cross-processor edges; with
+/// scenario routing, each edge's chain must follow the routed path hop by
+/// hop.
 [[nodiscard]] std::vector<std::string> check_comm_bounds(
     const Scenario& scenario, const Schedule& schedule);
 

@@ -51,8 +51,9 @@ TaskGraph random_graph(std::uint64_t seed, const ScenarioOptions& options) {
 }
 
 Scenario random_scenario(std::uint64_t seed, const ScenarioOptions& options) {
-  Scenario s{seed, "random/seed=" + std::to_string(seed), random_graph(seed, options),
-             random_platform(seed * 7 + 1, options)};
+  Scenario s{seed, "random/seed=" + std::to_string(seed),
+             random_graph(seed, options),
+             random_platform(seed * 7 + 1, options), std::nullopt};
   return s;
 }
 
@@ -68,7 +69,8 @@ std::vector<Scenario> scenario_sweep(std::uint64_t base_seed, int count,
     switch (variant) {
       case 1: {  // single-processor platform (only the graph is random)
         out.push_back({seed, "single-proc/seed=" + std::to_string(seed),
-                       random_graph(seed, options), Platform({2.0}, 1.0)});
+                       random_graph(seed, options), Platform({2.0}, 1.0),
+                       std::nullopt});
         break;
       }
       case 2: {  // zero-communication edges
@@ -98,6 +100,45 @@ std::vector<Scenario> scenario_sweep(std::uint64_t base_seed, int count,
   return out;
 }
 
+std::vector<Scenario> routed_scenario_sweep(std::uint64_t base_seed, int count,
+                                            const ScenarioOptions& options) {
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    SplitMix64 rng(seed * 0x6C62272E07BB0142ULL + 0x2545F4914F6CDD1DULL);
+
+    // Sparse topologies need >= 2 processors; otherwise respect the
+    // platform knobs of `options`.
+    const int min_p = options.min_processors < 2 ? 2 : options.min_processors;
+    const int span = options.max_processors - min_p + 1;
+    const int p =
+        span <= 1 ? min_p
+                  : min_p + static_cast<int>(
+                                rng.below(static_cast<std::uint64_t>(span)));
+    std::vector<double> cycle(static_cast<std::size_t>(p));
+    for (double& t : cycle) t = rng.uniform(options.cycle_lo, options.cycle_hi);
+    const double link = rng.uniform(options.link_lo, options.link_hi);
+
+    static const char* const kTopologies[] = {"ring", "star", "random",
+                                              "line", "two-node"};
+    const std::string topology = kTopologies[i % 5];
+    RoutedPlatform routed =
+        topology == "two-node"
+            ? make_line_platform({cycle[0], cycle[1 % cycle.size()]}, link)
+            : make_topology_platform(topology, std::move(cycle), link, seed);
+
+    Scenario s{seed,
+               topology + "/p=" +
+                   std::to_string(routed.platform.num_processors()) +
+                   "/seed=" + std::to_string(seed),
+               random_graph(seed, options), std::move(routed.platform),
+               std::move(routed.routing)};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::vector<Scenario> edge_case_scenarios() {
   std::vector<Scenario> out;
 
@@ -106,7 +147,7 @@ std::vector<Scenario> edge_case_scenarios() {
     g.add_task(3.0, "only");
     g.finalize();
     out.push_back({9001, "edge/single-task", std::move(g),
-                   Platform({2.0, 1.0, 4.0}, 1.5)});
+                   Platform({2.0, 1.0, 4.0}, 1.5), std::nullopt});
   }
   {
     TaskGraph g;
@@ -117,14 +158,14 @@ std::vector<Scenario> edge_case_scenarios() {
     g.add_edge(b, c, 4.0);
     g.finalize();
     out.push_back({9002, "edge/single-proc-chain", std::move(g),
-                   Platform({3.0}, 1.0)});
+                   Platform({3.0}, 1.0), std::nullopt});
   }
   {
     // Fork whose edges carry no data: placements are free of comm cost.
     TaskGraph g = testbeds::make_fork(2.0, {1.0, 1.0, 1.0, 1.0},
                                       {0.0, 0.0, 0.0, 0.0});
     out.push_back({9003, "edge/zero-data-fork", std::move(g),
-                   Platform({1.0, 2.0}, 5.0)});
+                   Platform({1.0, 2.0}, 5.0), std::nullopt});
   }
   {
     TaskGraph g;
@@ -136,7 +177,7 @@ std::vector<Scenario> edge_case_scenarios() {
     }
     g.finalize();
     out.push_back({9004, "edge/pure-chain", std::move(g),
-                   Platform({1.0, 1.0, 1.0, 1.0}, 2.0)});
+                   Platform({1.0, 1.0, 1.0, 1.0}, 2.0), std::nullopt});
   }
   {
     // Independent tasks: no edges at all, pure load balancing.
@@ -144,7 +185,7 @@ std::vector<Scenario> edge_case_scenarios() {
     for (int i = 0; i < 16; ++i) g.add_task(1.0 + (i % 5));
     g.finalize();
     out.push_back({9005, "edge/independent-bag", std::move(g),
-                   Platform({1.0, 2.0, 3.0, 4.0}, 1.0)});
+                   Platform({1.0, 2.0, 3.0, 4.0}, 1.0), std::nullopt});
   }
   return out;
 }

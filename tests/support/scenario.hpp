@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/task_graph.hpp"
 #include "platform/platform.hpp"
+#include "platform/routing.hpp"
 
 namespace oneport::testsupport {
 
@@ -44,6 +46,16 @@ struct Scenario {
   std::string description;
   TaskGraph graph;
   Platform platform;
+  /// Set for sparse (routed) platforms: schedulers must send messages
+  /// between non-adjacent processors as store-and-forward chains along
+  /// these shortest paths, and the invariant checkers validate the chains
+  /// hop by hop against this table.
+  std::optional<RoutingTable> routing;
+
+  /// The form schedulers take the table in (nullptr = fully connected).
+  [[nodiscard]] const RoutingTable* routing_ptr() const {
+    return routing ? &*routing : nullptr;
+  }
 };
 
 /// Deterministic random platform; respects `options`' platform knobs.
@@ -69,5 +81,13 @@ struct Scenario {
 /// to hit exactly: one task, one processor, an empty-communication fork,
 /// a pure chain, and a wide independent-task bag.
 [[nodiscard]] std::vector<Scenario> edge_case_scenarios();
+
+/// `count` sparse-topology scenarios seeded base_seed, base_seed+1, ...
+/// The topology rotates through ring, star, random connected graph, line,
+/// and the degenerate 2-processor network, so any sweep of >= 5 scenarios
+/// covers every shape; cycle times, link costs and the DAG stay random
+/// per seed.  Every scenario carries its RoutingTable.
+[[nodiscard]] std::vector<Scenario> routed_scenario_sweep(
+    std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
 
 }  // namespace oneport::testsupport
