@@ -5,9 +5,10 @@
 //     sorted-vector vs gap-indexed), so the indexed timelines' win -- and
 //     any future regression -- shows up directly in the timings;
 //   * the same schedulers over sparse routed topologies (ring / star /
-//     random connected), so the store-and-forward evaluation path and
-//     the routed finish_lower_bound pruning in evaluate_best are
-//     measured too (ISSUE-3);
+//     random connected, plus the structured 2D mesh / torus / fat tree
+//     of ISSUE-4), so the store-and-forward evaluation path and the
+//     routed finish_lower_bound pruning in evaluate_best are measured
+//     too (ISSUE-3);
 //   * the figure-grid sweep driver run serially vs with the thread pool
 //     -- including a routed grid -- so the parallel experiment runner is
 //     tracked end to end.
@@ -18,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -111,38 +113,40 @@ void register_routed_benchmarks() {
   // these timings cover the routed evaluation path end to end -- and the
   // per-impl registration keeps the routed finish_lower_bound pruning
   // honest across timeline implementations (makespans must match).
+  //
+  // The structured networks (mesh/torus over the 10 paper processors as
+  // 2x5 grids, a 2-level arity-3 fat tree recycling their speeds over 13
+  // nodes) ride the same registration; their display name drops the
+  // dimensions so trajectories stay comparable if the shapes grow.
   struct TopologyCase {
-    const char* name;
+    const char* display;   ///< bench name component, e.g. "mesh"
+    const char* topology;  ///< make_topology_platform registry name
     std::uint64_t seed;
   };
   const std::vector<TopologyCase> topologies = {
-      {"ring", 1}, {"star", 1}, {"random", 20260729}};
+      {"ring", "ring", 1},          {"star", "star", 1},
+      {"random", "random", 20260729}, {"mesh", "mesh2x5", 1},
+      {"torus", "torus2x5", 1},     {"fattree", "fattree2x3", 1}};
   for (const int n : {1000, 5000}) {
     for (const TopologyCase& t : topologies) {
       for (const bool run_ilha : {false, true}) {
         for (const TimelineImpl impl :
              {TimelineImpl::kGapIndexed, TimelineImpl::kReference}) {
           const std::string name =
-              std::string("routed/") + t.name + "/n=" + std::to_string(n) +
+              std::string("routed/") + t.display + "/n=" + std::to_string(n) +
               "/" + (run_ilha ? "ilha-oneport" : "heft-oneport") + "/" +
               timeline_impl_name(impl);
           benchmark::RegisterBenchmark(
               name.c_str(),
               [n, t, run_ilha, impl](benchmark::State& state) {
                 const TaskGraph& graph = scale_graph(n);
-                static std::map<std::string, RoutedPlatform>* platforms =
-                    new std::map<std::string, RoutedPlatform>();
-                auto it = platforms->find(t.name);
-                if (it == platforms->end()) {
-                  it = platforms
-                           ->emplace(t.name,
-                                     make_topology_platform(
-                                         t.name,
-                                         paper_platform().cycle_times(),
-                                         /*link=*/1.0, t.seed))
-                           .first;
-                }
-                const RoutedPlatform& routed = it->second;
+                // The process-wide cache shares one platform + table per
+                // (topology, seed) across all registered benches.
+                const std::shared_ptr<const RoutedPlatform> shared =
+                    analysis::shared_topology_platform(
+                        t.topology, paper_platform().cycle_times(),
+                        /*link=*/1.0, t.seed);
+                const RoutedPlatform& routed = *shared;
                 ScopedTimelineImpl guard(impl);
                 double makespan = 0.0;
                 for (auto _ : state) {
@@ -176,12 +180,12 @@ void register_sweep_benchmarks() {
   const std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
       {"LU", "FORK-JOIN"}, {100, 200, 300}, {"heft-oneport", "ilha-oneport"});
   // The same grid over sparse topologies: routed points farm across the
-  // same pool, so the routed platform build + chain scheduling cost is
-  // visible in the driver timing.
+  // same pool and share cached RoutingTables, so the driver timing shows
+  // the chain-scheduling cost rather than repeated table builds.
   const std::vector<analysis::SweepPoint> routed_grid =
       analysis::make_sweep_grid({"LU", "FORK-JOIN"}, {100, 200, 300},
                                 {"heft-oneport", "ilha-oneport"}, 10.0, 38,
-                                {"ring", "star"});
+                                {"ring", "star", "mesh2x5"});
   struct DriverCase {
     const char* name;
     int workers;

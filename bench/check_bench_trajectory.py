@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate bench JSON trajectories against the committed baseline.
+
+Usage:
+    check_bench_trajectory.py BASELINE.json CURRENT.json
+        [--threshold=0.25] [--prefixes=routed/,scale/]
+
+Both files are google-benchmark ``--benchmark_out`` JSON.  Only
+benchmarks whose name starts with one of ``--prefixes`` participate.
+
+Baseline and current runs generally come from different machines (the
+committed baseline vs whatever CI runner picked up the job), so absolute
+times are not comparable.  Instead the gate normalizes: it computes each
+benchmark's current/baseline time ratio, takes the *median* ratio as the
+machine factor, and fails when any single benchmark's ratio exceeds
+``median * (1 + threshold)``.  A uniformly slower machine shifts every
+ratio equally and passes; one benchmark regressing relative to the rest
+-- the signature of a real code regression on a hot path -- fails.
+
+Also fails when a baseline benchmark disappears from the current run
+(renames must update bench/baseline.json in the same commit).  New
+benchmarks in the current run are reported and allowed; check in a new
+baseline to start tracking them.
+"""
+
+import json
+import sys
+
+# ns per unit -- google-benchmark may emit different time_units per entry.
+_UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path, prefixes):
+    """name -> real_time in ns for plain (non-aggregate) entries.
+
+    With ``--benchmark_repetitions=N`` the JSON holds N iteration rows
+    per name; the *minimum* is kept.  Min-of-N is the standard
+    noise-reduction for timing gates: scheduler preemption and cache
+    pollution only ever make a run slower, so the fastest repetition is
+    the best estimate of the code's true cost.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name", "")
+        # Skip aggregate rows (mean/median/stddev of repetition runs).
+        if entry.get("run_type") == "aggregate":
+            continue
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        if "real_time" not in entry:
+            continue
+        unit = _UNITS.get(entry.get("time_unit", "ns"), 1.0)
+        t = float(entry["real_time"]) * unit
+        times[name] = min(times.get(name, t), t)
+    return times
+
+
+def main(argv):
+    threshold = 0.25
+    prefixes = ["routed/", "scale/"]
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--prefixes="):
+            prefixes = [p for p in arg.split("=", 1)[1].split(",") if p]
+        else:
+            positional.append(arg)
+    if len(positional) != 2:
+        sys.exit(__doc__)
+    baseline_path, current_path = positional
+
+    baseline = load_times(baseline_path, prefixes)
+    current = load_times(current_path, prefixes)
+    if not baseline:
+        sys.exit(f"no benchmarks matching {prefixes} in {baseline_path}")
+
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        sys.exit("baseline and current run share no benchmark names")
+
+    ratios = {name: current[name] / baseline[name] for name in shared}
+    ordered = sorted(ratios.values())
+    median = ordered[len(ordered) // 2]
+    limit = median * (1.0 + threshold)
+
+    failures = [name for name in shared if ratios[name] > limit]
+    width = max(len(name) for name in shared)
+    print(f"{len(shared)} benchmarks compared; machine factor "
+          f"(median current/baseline ratio) {median:.3f}; "
+          f"per-bench limit {limit:.3f} (threshold {threshold:.0%})")
+    for name in sorted(shared, key=lambda n: -ratios[n]):
+        flag = "  << REGRESSION" if name in failures else ""
+        print(f"  {name:<{width}}  x{ratios[name] / median:6.3f} "
+              f"of median{flag}")
+    for name in new:
+        print(f"  {name}: new benchmark (not in baseline)")
+
+    ok = True
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{threshold:.0%} beyond the machine factor")
+        ok = False
+    if missing:
+        print("FAIL: baseline benchmarks missing from the current run "
+              "(update bench/baseline.json in the same commit): "
+              + ", ".join(missing))
+        ok = False
+    if ok:
+        print("OK: no benchmark regressed beyond the threshold")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,7 @@
 // The §4.3 routing extension in action: schedule one of the paper's
-// kernels on a fully connected network, a ring, and a star with identical
-// processors, and watch the sparse interconnects pay for their multi-hop
-// store-and-forward messages.
+// kernels on a fully connected network, a ring, a star, a 2x3 mesh, a
+// torus, and a fat tree with identical processors, and watch the sparse
+// interconnects pay for their multi-hop store-and-forward messages.
 //
 //   $ ./examples/routed_network --testbed=LAPLACE --n=24
 #include <iostream>
@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   const std::vector<double> cycles{1, 1, 2, 2, 3, 3};
 
   std::cout << "one-port scheduling of " << testbed_name << "(" << n
-            << "), c=" << c << ", on 6 processors under three network "
-            << "topologies\n\n";
+            << "), c=" << c << ", same processor speeds under six network "
+            << "topologies (the fat tree recycles them over 7 nodes)\n\n";
 
   csv::Table table({"topology", "scheduler", "makespan", "ratio",
                     "messages(hops)"});
@@ -61,6 +61,14 @@ int main(int argc, char** argv) {
   run("ring", ring.platform, &ring.routing);
   const RoutedPlatform star = make_star_platform(cycles, 1.0);
   run("star", star.platform, &star.routing);
+  // The structured networks of ISSUE-4: the same six processors as a 2x3
+  // mesh and torus (XY dimension-ordered routes), and their speeds
+  // recycled over a 2-level arity-2 fat tree (up-down routes, links
+  // tapering fatter toward the root).
+  for (const char* name : {"mesh2x3", "torus2x3", "fattree2x2"}) {
+    const RoutedPlatform routed = make_topology_platform(name, cycles, 1.0);
+    run(name, routed.platform, &routed.routing);
+  }
 
   table.write_pretty(std::cout);
   std::cout << "\nOn the ring/star, messages between non-adjacent "

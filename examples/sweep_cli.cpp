@@ -7,16 +7,21 @@
 // Usage:
 //   sweep_cli [--testbeds=LU,STENCIL] [--sizes=100,200,300]
 //             [--schedulers=heft-oneport,ilha-oneport]
-//             [--topologies=full,ring,star,line,random]
+//             [--topologies=full,ring,star,line,random,mesh3x3,torus3x3,fattree2x2]
 //             [--comm-ratio=10] [--chunk=38] [--workers=0]
 //             [--topology-seed=1] [--no-validate]
 //             [--csv=out.csv] [--json=out.json] [--quiet]
 //
 // Topology "full" schedules on the paper's fully-connected 10-processor
 // platform; the sparse names rebuild that platform's processors over a
-// ring/star/line/random-connected network and schedule store-and-forward
-// chains along its shortest paths.  Every grid point is validated under
-// the model implied by the scheduler name unless --no-validate is given.
+// ring/star/line/random-connected/mesh/torus/fat-tree network and
+// schedule store-and-forward chains along its routed paths (structured
+// names fix the processor count and recycle the paper platform's cycle
+// times).  Topology names are validated against the registry before the
+// sweep starts: a typo is a hard error listing the known names, not a
+// point failure deep inside the grid.  Every grid point is validated
+// under the model implied by the scheduler name unless --no-validate is
+// given.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +30,7 @@
 
 #include "analysis/experiment.hpp"
 #include "platform/platform.hpp"
+#include "platform/routing.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -96,7 +102,9 @@ int run(int argc, char** argv) {
     std::cout
         << "usage: sweep_cli [--testbeds=LU,...] [--sizes=100,...]\n"
            "                 [--schedulers=heft-oneport,...]\n"
-           "                 [--topologies=full,ring,star,line,random]\n"
+           "                 [--topologies=full,ring,star,line,random,\n"
+           "                               mesh<R>x<C>,torus<R>x<C>,"
+           "fattree<L>x<A>]\n"
            "                 [--comm-ratio=10] [--chunk=38] [--workers=0]\n"
            "                 [--topology-seed=1] [--no-validate]\n"
            "                 [--csv=out.csv] [--json=out.json] [--quiet]\n";
@@ -118,6 +126,13 @@ int run(int argc, char** argv) {
   ensure(!testbeds.empty() && !sizes.empty() && !schedulers.empty() &&
              !topologies.empty(),
          "every grid axis needs at least one entry");
+  // Reject unknown topology names before any scheduling happens: a typo
+  // must be a hard error listing the registry, not a late point failure
+  // (or, worse, a silently skipped axis).  "full" is the no-routing
+  // baseline, not a routed topology, so it is checked separately.
+  for (const std::string& topology : topologies) {
+    if (topology != "full") validate_topology_name(topology);
+  }
 
   std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
       testbeds, sizes, schedulers, comm_ratio, chunk, topologies);

@@ -1,7 +1,10 @@
 #include "analysis/experiment.hpp"
 
-#include <optional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <ostream>
+#include <tuple>
 #include <utility>
 
 #include "analysis/metrics.hpp"
@@ -137,14 +140,17 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
         testbeds::find_testbed(point.testbed);
     const TaskGraph graph = testbed.make(point.size, point.comm_ratio);
 
-    // Routed points rebuild the platform per point (cheap next to the
-    // scheduler run) so every grid cell stays a pure function of its
-    // inputs and farms across the pool without shared mutable state.
+    // Routed points share one immutable platform + RoutingTable per
+    // (topology, seed) through the process-wide cache: each grid cell
+    // stays a pure function of its inputs, but the Floyd-Warshall /
+    // structured-route construction runs once per network, not once per
+    // point.
     const bool routed = point.topology != "full";
-    std::optional<RoutedPlatform> sparse;
+    std::shared_ptr<const RoutedPlatform> sparse;
     if (routed) {
-      sparse = make_topology_platform(point.topology, platform.cycle_times(),
-                                      /*link=*/1.0, point.topology_seed);
+      sparse = shared_topology_platform(point.topology,
+                                        platform.cycle_times(),
+                                        /*link=*/1.0, point.topology_seed);
     }
     const Platform& target = routed ? sparse->platform : platform;
     const SchedulerEntry scheduler = find_scheduler(
@@ -172,6 +178,32 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
     out.num_comms = schedule.num_comms();
   });
   return results;
+}
+
+std::shared_ptr<const RoutedPlatform> shared_topology_platform(
+    const std::string& topology, const std::vector<double>& cycle_times,
+    double link, std::uint64_t seed) {
+  using Key =
+      std::tuple<std::string, std::uint64_t, double, std::vector<double>>;
+  // Leaked intentionally (like the testbed caches): the cache must
+  // outlive every schedule still pointing into a cached RoutingTable at
+  // static-destruction time.
+  static auto* cache =
+      new std::map<Key, std::shared_ptr<const RoutedPlatform>>();
+  static std::mutex mutex;
+  Key key{topology, seed, link, cycle_times};
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+  // Build outside the lock -- the construction is exactly the expensive
+  // part being cached, and a duplicate build on a first-use race is
+  // benign: the first insert wins and the loser's copy is dropped.
+  auto built = std::make_shared<const RoutedPlatform>(
+      make_topology_platform(topology, cycle_times, link, seed));
+  const std::lock_guard<std::mutex> lock(mutex);
+  return cache->emplace(std::move(key), std::move(built)).first->second;
 }
 
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {

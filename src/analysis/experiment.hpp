@@ -16,10 +16,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "platform/platform.hpp"
+#include "platform/routing.hpp"
 #include "util/csv.hpp"
 
 namespace oneport::analysis {
@@ -66,9 +68,13 @@ struct SweepPoint {
   double comm_ratio = 10.0;
   int chunk_size = 38;  ///< ILHA's B (ignored by other schedulers)
   /// Network shape: "full" schedules on the platform passed to run_sweep
-  /// (no routing); "ring", "star", "line", or "random" rebuild a sparse
-  /// platform from that platform's cycle times (unit base link cost) and
-  /// schedule store-and-forward chains along its shortest paths.
+  /// (no routing); any make_topology_platform name -- "ring", "star",
+  /// "line", "random", "mesh<R>x<C>", "torus<R>x<C>", "fattree<L>x<A>" --
+  /// rebuilds a sparse platform from that platform's cycle times (unit
+  /// base link cost) and schedules store-and-forward chains along its
+  /// routed paths.  Routed platforms come from the process-wide
+  /// shared_topology_platform cache, so a grid sweep builds each
+  /// (topology, seed) network once instead of once per point.
   std::string topology = "full";
   std::uint64_t topology_seed = 1;  ///< seed for the "random" topology
 };
@@ -106,5 +112,18 @@ struct SweepOptions {
 
 /// Formats sweep results as one row per grid point.
 [[nodiscard]] csv::Table sweep_table(const std::vector<SweepResult>& rows);
+
+/// Process-wide routed-platform cache for grid sweeps (ROADMAP item):
+/// keyed by (topology name, seed, link, cycle times), the first call per
+/// key builds the platform and its RoutingTable (Floyd-Warshall for the
+/// unstructured names, XY/up-down construction for mesh/torus/fattree);
+/// every later call -- from any worker thread -- returns the same
+/// immutable instance.  A topology x testbed x size x scheduler grid
+/// therefore builds each network once instead of once per grid point.
+/// The cycle times participate in the key, so two sweeps over different
+/// base platforms can never alias.
+[[nodiscard]] std::shared_ptr<const RoutedPlatform> shared_topology_platform(
+    const std::string& topology, const std::vector<double>& cycle_times,
+    double link = 1.0, std::uint64_t seed = 1);
 
 }  // namespace oneport::analysis

@@ -202,6 +202,263 @@ RoutedPlatform make_random_connected_platform(std::vector<double> cycle_times,
   return {std::move(platform), std::move(routing)};
 }
 
+namespace {
+
+/// Node-count ceiling for the parameterized structured topologies.  The
+/// link/next/dist tables are all p x p, so the footprint grows with the
+/// SQUARE of the node count: 2048 nodes ~ 80 MB of tables, which is the
+/// most a sweep axis can reasonably want; "mesh9999x9999" must fail
+/// fast with this error instead of dying in a ~2 TB allocation.
+constexpr long long kMaxTopologyNodes = 2048;
+
+/// Per-item distance for every pair obtained by *walking* the next-hop
+/// table over the platform's direct links.  Computing dist from the hop
+/// chain (rather than independently) keeps the table self-consistent by
+/// construction for any routing policy, so the hop-by-hop invariant
+/// checkers and the distance-based finish lower bound agree exactly.
+Matrix<double> dist_from_next(const Platform& platform,
+                              const Matrix<int>& next) {
+  const int p = platform.num_processors();
+  const auto n = static_cast<std::size_t>(p);
+  Matrix<double> dist(n, n, 0.0);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      double cost = 0.0;
+      int cur = i;
+      int hops = 0;
+      while (cur != j) {
+        OP_ASSERT(++hops < p, "routing loop while building distances");
+        const int nxt =
+            next(static_cast<std::size_t>(cur), static_cast<std::size_t>(j));
+        OP_ASSERT(nxt >= 0 && nxt < p, "next-hop table has a hole");
+        const double hop = platform.link(cur, nxt);
+        OP_ASSERT(std::isfinite(hop), "routed hop crosses a missing link");
+        cost += hop;
+        cur = nxt;
+      }
+      dist(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = cost;
+    }
+  }
+  return dist;
+}
+
+struct TopologyDims {
+  int a = 0;
+  int b = 0;
+};
+
+bool parse_positive_int(const std::string& text, int& out) {
+  if (text.empty() || text.size() > 7) return false;
+  int value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + (ch - '0');
+  }
+  if (value < 1) return false;
+  out = value;
+  return true;
+}
+
+/// Parses "<prefix><A>x<B>" (e.g. "mesh3x3").  Returns false when `name`
+/// does not start with `prefix`; throws on a malformed suffix so a typo
+/// like "mesh3" reports the expected pattern instead of "unknown".
+bool parse_dims(const std::string& name, const std::string& prefix,
+                TopologyDims& out) {
+  if (name.rfind(prefix, 0) != 0) return false;
+  const std::string rest = name.substr(prefix.size());
+  const std::size_t x = rest.find('x');
+  const bool ok = x != std::string::npos &&
+                  parse_positive_int(rest.substr(0, x), out.a) &&
+                  parse_positive_int(rest.substr(x + 1), out.b);
+  OP_REQUIRE(ok, "malformed dimensions in topology '"
+                     << name << "'; expected " << prefix
+                     << "<A>x<B> with positive integers");
+  return true;
+}
+
+/// (arity^(levels+1) - 1) / (arity - 1), guarded against runaway sizes.
+long long fat_tree_node_count(int levels, int arity) {
+  long long total = 0;
+  long long width = 1;
+  for (int k = 0; k <= levels; ++k) {
+    total += width;
+    OP_REQUIRE(total <= kMaxTopologyNodes,
+               "fat tree exceeds " << kMaxTopologyNodes << " nodes");
+    width *= arity;
+  }
+  return total;
+}
+
+/// The structured names fix the processor count; the caller's cycle
+/// times are recycled cyclically to that length.
+std::vector<double> recycle_cycles(const std::vector<double>& cycle,
+                                   std::size_t n) {
+  OP_REQUIRE(!cycle.empty(), "need at least one cycle time");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = cycle[i % cycle.size()];
+  return out;
+}
+
+}  // namespace
+
+RoutedPlatform make_mesh2d_platform(std::vector<double> cycle_times, int rows,
+                                    int cols, bool wrap, double link) {
+  OP_REQUIRE(rows >= 1 && cols >= 1, "mesh dimensions must be positive");
+  const long long nodes = static_cast<long long>(rows) * cols;
+  OP_REQUIRE(nodes >= 2, "a mesh needs at least two processors");
+  OP_REQUIRE(nodes <= kMaxTopologyNodes,
+             "mesh exceeds " << kMaxTopologyNodes << " nodes");
+  OP_REQUIRE(cycle_times.size() == static_cast<std::size_t>(nodes),
+             "cycle_times size must equal rows * cols");
+  OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  const auto n = static_cast<std::size_t>(nodes);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  const auto at = [](int v) { return static_cast<std::size_t>(v); };
+
+  Matrix<double> m(n, n, kNoLink);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        m(at(id(r, c)), at(id(r, c + 1))) = link;
+        m(at(id(r, c + 1)), at(id(r, c))) = link;
+      }
+      if (r + 1 < rows) {
+        m(at(id(r, c)), at(id(r + 1, c))) = link;
+        m(at(id(r + 1, c)), at(id(r, c))) = link;
+      }
+    }
+    // Wrap-around links only make a dimension of size >= 3 rounder; for
+    // size 2 the wrap edge is the direct edge that already exists.
+    if (wrap && cols >= 3) {
+      m(at(id(r, cols - 1)), at(id(r, 0))) = link;
+      m(at(id(r, 0)), at(id(r, cols - 1))) = link;
+    }
+  }
+  if (wrap && rows >= 3) {
+    for (int c = 0; c < cols; ++c) {
+      m(at(id(rows - 1, c)), at(id(0, c))) = link;
+      m(at(id(0, c)), at(id(rows - 1, c))) = link;
+    }
+  }
+
+  // Dimension-ordered (XY) routing: correct the column first, then the
+  // row.  On a torus each dimension takes the shorter way around; exact
+  // antipodes tie toward the increasing index, so routes are a pure
+  // function of the coordinates.
+  const auto step = [wrap](int from, int to, int size) {
+    if (!wrap) return from + (to > from ? 1 : -1);
+    const int fwd = ((to - from) % size + size) % size;
+    const int back = size - fwd;
+    return fwd <= back ? (from + 1) % size : (from + size - 1) % size;
+  };
+  Matrix<int> next(n, n, -1);
+  for (int r1 = 0; r1 < rows; ++r1) {
+    for (int c1 = 0; c1 < cols; ++c1) {
+      for (int r2 = 0; r2 < rows; ++r2) {
+        for (int c2 = 0; c2 < cols; ++c2) {
+          const int u = id(r1, c1);
+          const int v = id(r2, c2);
+          int hop = u;
+          if (c1 != c2) {
+            hop = id(r1, step(c1, c2, cols));
+          } else if (r1 != r2) {
+            hop = id(step(r1, r2, rows), c1);
+          }
+          next(at(u), at(v)) = hop;
+        }
+      }
+    }
+  }
+
+  Platform platform(std::move(cycle_times), std::move(m));
+  Matrix<double> dist = dist_from_next(platform, next);
+  RoutingTable routing = RoutingTable::from_tables(
+      static_cast<int>(nodes), std::move(dist), std::move(next));
+  return {std::move(platform), std::move(routing)};
+}
+
+RoutedPlatform make_fat_tree_platform(std::vector<double> cycle_times,
+                                      int levels, int arity, double taper,
+                                      double link) {
+  OP_REQUIRE(levels >= 1, "a fat tree needs at least one level below root");
+  OP_REQUIRE(arity >= 2, "fat-tree arity must be at least 2");
+  OP_REQUIRE(taper > 0.0 && std::isfinite(taper),
+             "taper must be positive and finite");
+  OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  const int p = static_cast<int>(fat_tree_node_count(levels, arity));
+  OP_REQUIRE(cycle_times.size() == static_cast<std::size_t>(p),
+             "cycle_times size must equal the fat-tree node count "
+             "(arity^(levels+1) - 1) / (arity - 1) = "
+                 << p);
+  const auto n = static_cast<std::size_t>(p);
+
+  // Breadth-first ids: level k occupies [offset[k], offset[k+1]).
+  std::vector<int> depth(n, 0);
+  std::vector<int> parent(n, -1);
+  {
+    int offset = 0;
+    int width = 1;
+    for (int k = 0; k <= levels; ++k) {
+      for (int i = 0; i < width; ++i) {
+        const int node = offset + i;
+        depth[static_cast<std::size_t>(node)] = k;
+        if (k > 0) {
+          parent[static_cast<std::size_t>(node)] =
+              offset - (width / arity) + i / arity;
+        }
+      }
+      offset += width;
+      width *= arity;
+    }
+  }
+
+  // Links taper toward the root: the edge above a depth-d node costs
+  // link / taper^(levels - d), so leaf links cost `link` and every level
+  // up is `taper` times fatter.
+  Matrix<double> m(n, n, kNoLink);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
+  for (int node = 1; node < p; ++node) {
+    const double cost =
+        link / std::pow(taper, levels - depth[static_cast<std::size_t>(node)]);
+    const auto u = static_cast<std::size_t>(node);
+    const auto v = static_cast<std::size_t>(parent[u]);
+    m(u, v) = cost;
+    m(v, u) = cost;
+  }
+
+  // Up-down routing: climb to the lowest common ancestor, then descend
+  // -- the unique tree path.
+  const auto ancestor_at = [&](int v, int d) {
+    while (depth[static_cast<std::size_t>(v)] > d) {
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  Matrix<int> next(n, n, -1);
+  for (int u = 0; u < p; ++u) {
+    for (int v = 0; v < p; ++v) {
+      const int du = depth[static_cast<std::size_t>(u)];
+      int hop;
+      if (u == v) {
+        hop = u;
+      } else if (depth[static_cast<std::size_t>(v)] > du &&
+                 ancestor_at(v, du) == u) {
+        hop = ancestor_at(v, du + 1);  // v lives under u: step down
+      } else {
+        hop = parent[static_cast<std::size_t>(u)];  // step up toward the LCA
+      }
+      next(static_cast<std::size_t>(u), static_cast<std::size_t>(v)) = hop;
+    }
+  }
+
+  Platform platform(std::move(cycle_times), std::move(m));
+  Matrix<double> dist = dist_from_next(platform, next);
+  RoutingTable routing =
+      RoutingTable::from_tables(p, std::move(dist), std::move(next));
+  return {std::move(platform), std::move(routing)};
+}
+
 RoutedPlatform make_topology_platform(const std::string& topology,
                                       std::vector<double> cycle_times,
                                       double link, std::uint64_t seed) {
@@ -213,11 +470,66 @@ RoutedPlatform make_topology_platform(const std::string& topology,
                                           /*edge_probability=*/0.35, seed,
                                           0.5 * link, 1.5 * link);
   }
-  OP_REQUIRE(false, "unknown topology '"
-                        << topology
-                        << "'; known: ring, star, line, random");
+  TopologyDims dims;
+  if (parse_dims(topology, "mesh", dims) ||
+      parse_dims(topology, "torus", dims)) {
+    // The cap must run before recycle_cycles: the whole point of
+    // kMaxTopologyNodes is to fail fast instead of attempting the
+    // node-count-sized allocation for a name like "mesh99999x99999".
+    const long long nodes = static_cast<long long>(dims.a) * dims.b;
+    OP_REQUIRE(nodes <= kMaxTopologyNodes,
+               "'" << topology << "' exceeds " << kMaxTopologyNodes
+                   << " nodes");
+    const bool wrap = topology[0] == 't';
+    return make_mesh2d_platform(
+        recycle_cycles(cycle_times, static_cast<std::size_t>(nodes)), dims.a,
+        dims.b, wrap, link);
+  }
+  if (parse_dims(topology, "fattree", dims)) {
+    const auto nodes =
+        static_cast<std::size_t>(fat_tree_node_count(dims.a, dims.b));
+    return make_fat_tree_platform(recycle_cycles(cycle_times, nodes), dims.a,
+                                  dims.b, /*taper=*/2.0, link);
+  }
+  OP_REQUIRE(false, "unknown topology '" << topology
+                                         << "'; known: "
+                                         << known_topology_names());
   // Unreachable; OP_REQUIRE above always throws.
   return make_ring_platform(std::move(cycle_times), link);
+}
+
+const std::string& known_topology_names() {
+  static const std::string names =
+      "ring, star, line, random, mesh<R>x<C>, torus<R>x<C>, "
+      "fattree<L>x<A>";
+  return names;
+}
+
+void validate_topology_name(const std::string& topology) {
+  if (topology == "ring" || topology == "star" || topology == "line" ||
+      topology == "random") {
+    return;
+  }
+  TopologyDims dims;
+  if (parse_dims(topology, "mesh", dims) ||
+      parse_dims(topology, "torus", dims)) {
+    const long long nodes = static_cast<long long>(dims.a) * dims.b;
+    OP_REQUIRE(nodes >= 2,
+               "'" << topology << "' needs at least two processors");
+    OP_REQUIRE(nodes <= kMaxTopologyNodes,
+               "'" << topology << "' exceeds " << kMaxTopologyNodes
+                   << " nodes");
+    return;
+  }
+  if (parse_dims(topology, "fattree", dims)) {
+    OP_REQUIRE(dims.b >= 2,
+               "'" << topology << "' needs an arity of at least 2");
+    fat_tree_node_count(dims.a, dims.b);  // throws over kMaxTopologyNodes
+    return;
+  }
+  OP_REQUIRE(false, "unknown topology '" << topology
+                                         << "'; known: "
+                                         << known_topology_names());
 }
 
 }  // namespace oneport

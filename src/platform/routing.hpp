@@ -98,12 +98,55 @@ struct RoutedPlatform {
     std::vector<double> cycle_times, double edge_probability,
     std::uint64_t seed, double link_lo = 1.0, double link_hi = 1.0);
 
-/// Name-based factory for sweep axes: "ring", "star", "line", or
-/// "random" (spanning tree + 35% extra edges, costs in [0.5, 1.5)*link,
-/// seeded by `seed`).  Fully-connected sweeps should bypass routing
-/// instead of asking for a "full" topology here.
+/// 2D mesh of rows x cols processors (row-major ids: (r, c) is
+/// r*cols + c), every grid neighbour linked at cost `link`; `wrap` adds
+/// the wrap-around links in each dimension of size >= 3, turning the
+/// mesh into a torus.  Routing is dimension-ordered (XY): a message
+/// first travels along its row to the destination column, then along
+/// that column -- on a torus each dimension takes the shorter way
+/// around, ties toward the increasing index.  The table is expressed
+/// through RoutingTable::from_tables, so the hop-by-hop invariant
+/// checkers apply to it unchanged.  Requires cycle_times.size() ==
+/// rows * cols.
+[[nodiscard]] RoutedPlatform make_mesh2d_platform(
+    std::vector<double> cycle_times, int rows, int cols, bool wrap,
+    double link = 1.0);
+
+/// Complete fat tree of `levels` levels below the root with fan-out
+/// `arity`: node 0 is the root, level k holds arity^k nodes in
+/// breadth-first id order, and every node links only to its parent.
+/// Links taper toward the root: an edge at depth d (child side) costs
+/// link / taper^(levels - d), so leaf links cost `link` and each level
+/// up is `taper` times fatter (taper = 1 gives a plain tree).  Routing
+/// is up-down: up to the lowest common ancestor, then down -- the
+/// unique tree path, expressed through RoutingTable::from_tables.
+/// Requires cycle_times.size() == (arity^(levels+1) - 1) / (arity - 1).
+[[nodiscard]] RoutedPlatform make_fat_tree_platform(
+    std::vector<double> cycle_times, int levels, int arity,
+    double taper = 2.0, double link = 1.0);
+
+/// Name-based factory for sweep axes: "ring", "star", "line", "random"
+/// (spanning tree + 35% extra edges, costs in [0.5, 1.5)*link, seeded
+/// by `seed`), plus the parameterized structured networks
+/// "mesh<R>x<C>", "torus<R>x<C>" (e.g. "mesh3x3", "torus2x5") and
+/// "fattree<L>x<A>" (<L> levels, fan-out <A>, taper 2).  Structured
+/// names fix the processor count (R*C or the full tree); `cycle_times`
+/// is recycled cyclically to that length, so any base platform's speeds
+/// map onto any network shape.  Fully-connected sweeps should bypass
+/// routing instead of asking for a "full" topology here.
 [[nodiscard]] RoutedPlatform make_topology_platform(
     const std::string& topology, std::vector<double> cycle_times,
     double link = 1.0, std::uint64_t seed = 1);
+
+/// Comma-separated human-readable registry of the topology names
+/// make_topology_platform accepts (patterns shown as "mesh<R>x<C>").
+[[nodiscard]] const std::string& known_topology_names();
+
+/// Validates `topology` against the registry without building anything:
+/// throws std::invalid_argument listing known_topology_names() for
+/// unknown names, and a specific message for malformed dimensions
+/// (e.g. "mesh3" or "fattree0x2").  Lets CLI drivers reject a typo
+/// up front instead of deep inside a sweep.
+void validate_topology_name(const std::string& topology);
 
 }  // namespace oneport

@@ -7,9 +7,9 @@
 //
 // Scenarios come in two flavours: fully-connected platforms
 // (scenario_sweep) and sparse routed topologies -- ring, star, random
-// connected, line, two-node -- where messages between non-adjacent
-// processors are store-and-forward chains validated hop by hop against
-// the scenario's RoutingTable (routed_scenario_sweep).
+// connected, line, two-node, 2D mesh, torus, fat tree -- where messages
+// between non-adjacent processors are store-and-forward chains validated
+// hop by hop against the scenario's RoutingTable (routed_scenario_sweep).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -75,16 +75,18 @@ TEST(PropertySweepEdgeCases, AllHeuristicsSatisfyAllInvariants) {
   }
 }
 
-// Sparse-topology axis (the ISSUE-3 tentpole): every heuristic under
-// both communication models over ring / star / random-connected / line /
-// two-node networks, with store-and-forward chains checked hop by hop
-// against the scenario's RoutingTable by the invariant battery.
+// Sparse-topology axis (the ISSUE-3 tentpole, grown by ISSUE-4): every
+// heuristic under both communication models over ring / star /
+// random-connected / line / two-node / 2D-mesh / torus / fat-tree
+// networks, with store-and-forward chains checked hop by hop against
+// the scenario's RoutingTable by the invariant battery.  Count 8 = one
+// full rotation through every topology shape.
 class RoutedPropertySweepTest
     : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RoutedPropertySweepTest, AllHeuristicsSatisfyAllInvariants) {
   const std::uint64_t base = GetParam();
-  for (const Scenario& scenario : testsupport::routed_scenario_sweep(base, 5)) {
+  for (const Scenario& scenario : testsupport::routed_scenario_sweep(base, 8)) {
     sweep_scenario(scenario);
   }
 }
@@ -109,7 +111,7 @@ TEST(PropertySweepExtended, HonorsEnvSeedCount) {
       sweep_scenario(scenario);
     }
     for (const Scenario& scenario :
-         testsupport::routed_scenario_sweep(base + 7, 5)) {
+         testsupport::routed_scenario_sweep(base + 7, 8)) {
       sweep_scenario(scenario);
     }
   }
@@ -129,7 +131,7 @@ TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
   for (Scenario& scenario : testsupport::edge_case_scenarios()) {
     scenarios.push_back(std::move(scenario));
   }
-  for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 5)) {
+  for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 8)) {
     scenarios.push_back(std::move(scenario));
   }
   for (const Scenario& scenario : scenarios) {

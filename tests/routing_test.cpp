@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "analysis/experiment.hpp"
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
 #include "platform/routing.hpp"
@@ -150,6 +152,176 @@ TEST(RoutingTable, PicksCheapestRoute) {
   const RoutingTable routing = RoutingTable::shortest_paths(p);
   EXPECT_EQ(routing.path(0, 1), (std::vector<ProcId>{0, 2, 1}));
   EXPECT_DOUBLE_EQ(routing.distance(0, 1), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Structured topologies (ISSUE-4): golden hop sequences.  Node ids are
+// row-major for meshes ((r, c) = r*cols + c) and breadth-first for fat
+// trees (root 0; level-1 nodes 1, 2; leaves 3..6 on a 2-level binary
+// tree).
+
+TEST(StructuredTopologies, Mesh3x3XYGoldenRoutes) {
+  const RoutedPlatform mesh =
+      make_mesh2d_platform(std::vector<double>(9, 1.0), 3, 3,
+                           /*wrap=*/false, 1.0);
+  // Dimension-ordered: the column is corrected first, then the row.
+  EXPECT_EQ(mesh.routing.path(0, 8), (std::vector<ProcId>{0, 1, 2, 5, 8}));
+  EXPECT_EQ(mesh.routing.path(6, 2), (std::vector<ProcId>{6, 7, 8, 5, 2}));
+  EXPECT_EQ(mesh.routing.path(0, 4), (std::vector<ProcId>{0, 1, 4}));
+  EXPECT_EQ(mesh.routing.path(0, 2), (std::vector<ProcId>{0, 1, 2}));
+  EXPECT_EQ(mesh.routing.path(4, 4), (std::vector<ProcId>{4}));
+  // No wrap links: the corner-to-corner route is the full Manhattan walk.
+  EXPECT_DOUBLE_EQ(mesh.routing.distance(0, 8), 4.0);
+  EXPECT_TRUE(mesh.routing.direct(0, 1));
+  EXPECT_FALSE(mesh.routing.direct(0, 4));  // diagonals are two hops
+}
+
+TEST(StructuredTopologies, Torus3x3WraparoundGoldenRoutes) {
+  const RoutedPlatform torus =
+      make_mesh2d_platform(std::vector<double>(9, 1.0), 3, 3,
+                           /*wrap=*/true, 1.0);
+  // Each dimension takes the shorter way around the ring.
+  EXPECT_EQ(torus.routing.path(0, 2), (std::vector<ProcId>{0, 2}));
+  EXPECT_EQ(torus.routing.path(0, 6), (std::vector<ProcId>{0, 6}));
+  EXPECT_EQ(torus.routing.path(0, 8), (std::vector<ProcId>{0, 2, 8}));
+  EXPECT_EQ(torus.routing.path(1, 8), (std::vector<ProcId>{1, 2, 8}));
+  EXPECT_DOUBLE_EQ(torus.routing.distance(0, 8), 2.0);
+  EXPECT_TRUE(torus.routing.direct(0, 2));  // wraparound neighbour
+}
+
+TEST(StructuredTopologies, TorusAntipodeTieTakesIncreasingDirection) {
+  // 1x4 torus: both ways to the antipode take two hops; the tie breaks
+  // toward the increasing index, deterministically.
+  const RoutedPlatform torus = make_topology_platform(
+      "torus1x4", std::vector<double>(4, 1.0), 1.0);
+  EXPECT_EQ(torus.routing.path(0, 2), (std::vector<ProcId>{0, 1, 2}));
+  EXPECT_EQ(torus.routing.path(3, 1), (std::vector<ProcId>{3, 0, 1}));
+}
+
+TEST(StructuredTopologies, FatTree2x2UpDownGoldenRoutes) {
+  const RoutedPlatform tree = make_fat_tree_platform(
+      std::vector<double>(7, 1.0), /*levels=*/2, /*arity=*/2,
+      /*taper=*/2.0, /*link=*/1.0);
+  EXPECT_EQ(tree.platform.num_processors(), 7);
+  // Siblings meet at their parent; cousins climb through the root.
+  EXPECT_EQ(tree.routing.path(3, 4), (std::vector<ProcId>{3, 1, 4}));
+  EXPECT_EQ(tree.routing.path(3, 6), (std::vector<ProcId>{3, 1, 0, 2, 6}));
+  EXPECT_EQ(tree.routing.path(4, 2), (std::vector<ProcId>{4, 1, 0, 2}));
+  EXPECT_EQ(tree.routing.path(0, 5), (std::vector<ProcId>{0, 2, 5}));
+  // Bandwidth taper: leaf links cost 1, the root level is 2x fatter.
+  EXPECT_DOUBLE_EQ(tree.routing.distance(3, 4), 2.0);
+  EXPECT_DOUBLE_EQ(tree.routing.distance(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(tree.routing.distance(3, 6), 3.0);
+  EXPECT_TRUE(tree.routing.direct(3, 1));
+  EXPECT_FALSE(tree.routing.direct(3, 0));
+}
+
+TEST(StructuredTopologies, FactoryParsesDimensionedNames) {
+  // The name fixes the processor count; cycle times recycle cyclically.
+  const std::vector<double> cycles{1.0, 2.0, 3.0};
+  const RoutedPlatform mesh = make_topology_platform("mesh2x2", cycles);
+  EXPECT_EQ(mesh.platform.num_processors(), 4);
+  EXPECT_EQ(mesh.platform.cycle_times(),
+            (std::vector<double>{1.0, 2.0, 3.0, 1.0}));
+  EXPECT_EQ(make_topology_platform("torus2x5", cycles)
+                .platform.num_processors(),
+            10);
+  EXPECT_EQ(make_topology_platform("fattree2x3", cycles)
+                .platform.num_processors(),
+            13);  // 1 + 3 + 9
+}
+
+TEST(StructuredTopologies, MalformedAndUnknownNamesAreHardErrors) {
+  const std::vector<double> cycles{1.0, 1.0, 1.0, 1.0};
+  EXPECT_THROW(make_topology_platform("mesh3", cycles),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology_platform("meshAx3", cycles),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology_platform("mesh0x2", cycles),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology_platform("mesh1x1", cycles),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology_platform("fattree2x1", cycles),
+               std::invalid_argument);
+  // Node-count cap fires before any allocation (the routing tables are
+  // p x p, so it bounds the quadratic footprint): a fat finger must
+  // produce an error, not an OOM.
+  EXPECT_THROW(make_topology_platform("mesh99999x99999", cycles),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology_platform("mesh100x100", cycles),
+               std::invalid_argument);
+  EXPECT_THROW(make_topology_platform("fattree30x3", cycles),
+               std::invalid_argument);
+
+  // validate_topology_name is the cheap up-front gate CLI drivers use
+  // (the ISSUE-4 sweep_cli bugfix): same verdicts, nothing built, and
+  // unknown names list the registry.
+  EXPECT_NO_THROW(validate_topology_name("ring"));
+  EXPECT_NO_THROW(validate_topology_name("mesh3x3"));
+  EXPECT_NO_THROW(validate_topology_name("torus2x5"));
+  EXPECT_NO_THROW(validate_topology_name("fattree2x2"));
+  EXPECT_THROW(validate_topology_name("mesh3"), std::invalid_argument);
+  EXPECT_THROW(validate_topology_name("fattree2x1"), std::invalid_argument);
+  // The up-front gate enforces the node cap too, so an oversized name
+  // cannot sneak past it only to explode mid-sweep.
+  EXPECT_THROW(validate_topology_name("mesh99999x99999"),
+               std::invalid_argument);
+  EXPECT_THROW(validate_topology_name("mesh100x100"), std::invalid_argument);
+  EXPECT_THROW(validate_topology_name("fattree30x3"), std::invalid_argument);
+  try {
+    validate_topology_name("rign");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown topology 'rign'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(known_topology_names()), std::string::npos) << what;
+  }
+}
+
+TEST(StructuredTopologies, StructuredRoutesScheduleAndValidate) {
+  const TaskGraph g = testbeds::make_stencil(8, 4.0);
+  for (const char* name : {"mesh2x3", "torus3x3", "fattree2x2"}) {
+    SCOPED_TRACE(name);
+    const RoutedPlatform routed = make_topology_platform(
+        name, {1.0, 1.0, 2.0, 2.0, 3.0, 3.0}, 1.0);
+    const Schedule s = heft(g, routed.platform,
+                            {.model = EftEngine::Model::kOnePort,
+                             .routing = &routed.routing});
+    const ValidationResult check = validate_one_port(s, g, routed.platform);
+    EXPECT_TRUE(check.ok()) << check.message();
+  }
+}
+
+// Cache correctness (ISSUE-4): the process-wide sweep cache must return
+// the same immutable instance per key, and that instance must be
+// identical -- paths and distances -- to a freshly built platform.
+TEST(StructuredTopologies, SharedTopologyPlatformCachePinsFreshTables) {
+  const std::vector<double> cycles{1.0, 2.0, 1.0, 2.0, 3.0};
+  const auto a = analysis::shared_topology_platform("mesh3x3", cycles, 1.0, 1);
+  const auto b = analysis::shared_topology_platform("mesh3x3", cycles, 1.0, 1);
+  EXPECT_EQ(a.get(), b.get()) << "second lookup must hit the cache";
+
+  const RoutedPlatform fresh = make_topology_platform("mesh3x3", cycles, 1.0);
+  ASSERT_EQ(a->platform.num_processors(), fresh.platform.num_processors());
+  const int p = fresh.platform.num_processors();
+  for (ProcId q = 0; q < p; ++q) {
+    EXPECT_EQ(a->platform.cycle_time(q), fresh.platform.cycle_time(q));
+    for (ProcId r = 0; r < p; ++r) {
+      EXPECT_EQ(a->routing.path(q, r), fresh.routing.path(q, r));
+      EXPECT_EQ(a->routing.distance(q, r), fresh.routing.distance(q, r));
+      EXPECT_EQ(a->platform.link(q, r), fresh.platform.link(q, r));
+    }
+  }
+
+  // Seed participates in the key: two random networks with different
+  // seeds are distinct instances (and, in general, distinct graphs).
+  const auto r1 = analysis::shared_topology_platform("random", cycles, 1.0, 1);
+  const auto r2 = analysis::shared_topology_platform("random", cycles, 1.0, 2);
+  EXPECT_NE(r1.get(), r2.get());
+  const auto r1_again =
+      analysis::shared_topology_platform("random", cycles, 1.0, 1);
+  EXPECT_EQ(r1.get(), r1_again.get());
 }
 
 TEST(RoutedScheduling, ChainMessagesValidate) {

@@ -120,9 +120,25 @@ std::vector<Scenario> routed_scenario_sweep(std::uint64_t base_seed, int count,
     for (double& t : cycle) t = rng.uniform(options.cycle_lo, options.cycle_hi);
     const double link = rng.uniform(options.link_lo, options.link_hi);
 
-    static const char* const kTopologies[] = {"ring", "star", "random",
-                                              "line", "two-node"};
-    const std::string topology = kTopologies[i % 5];
+    static const char* const kTopologies[] = {"ring", "star",  "random",
+                                              "line", "two-node", "mesh",
+                                              "torus", "fattree"};
+    std::string topology = kTopologies[i % 8];
+    if (topology == "mesh" || topology == "torus") {
+      // Small random dimensions (2..3 x 2..3); the name fixes the
+      // processor count, make_topology_platform recycles the cycle
+      // times.  The draws are sequenced as separate statements -- inside
+      // one `+` expression their order would be compiler-dependent and
+      // the seeded shapes would not reproduce across toolchains.
+      const std::uint64_t rows = 2 + rng.below(2);
+      const std::uint64_t cols = 2 + rng.below(2);
+      topology += std::to_string(rows) + "x" + std::to_string(cols);
+    } else if (topology == "fattree") {
+      // 1..2 levels below the root, fan-out 2..3 (up to 13 nodes).
+      const std::uint64_t levels = 1 + rng.below(2);
+      const std::uint64_t arity = 2 + rng.below(2);
+      topology += std::to_string(levels) + "x" + std::to_string(arity);
+    }
     RoutedPlatform routed =
         topology == "two-node"
             ? make_line_platform({cycle[0], cycle[1 % cycle.size()]}, link)

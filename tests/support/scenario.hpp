@@ -84,9 +84,10 @@ struct Scenario {
 
 /// `count` sparse-topology scenarios seeded base_seed, base_seed+1, ...
 /// The topology rotates through ring, star, random connected graph, line,
-/// and the degenerate 2-processor network, so any sweep of >= 5 scenarios
-/// covers every shape; cycle times, link costs and the DAG stay random
-/// per seed.  Every scenario carries its RoutingTable.
+/// the degenerate 2-processor network, 2D mesh, torus, and fat tree (the
+/// structured shapes draw small random dimensions per seed), so any sweep
+/// of >= 8 scenarios covers every shape; cycle times, link costs and the
+/// DAG stay random per seed.  Every scenario carries its RoutingTable.
 [[nodiscard]] std::vector<Scenario> routed_scenario_sweep(
     std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
 
