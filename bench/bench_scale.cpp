@@ -117,7 +117,13 @@ void register_routed_benchmarks() {
   // The structured networks (mesh/torus over the 10 paper processors as
   // 2x5 grids, a 2-level arity-3 fat tree recycling their speeds over 13
   // nodes) ride the same registration; their display name drops the
-  // dimensions so trajectories stay comparable if the shapes grow.
+  // dimensions so trajectories stay comparable if the shapes grow.  The
+  // ISSUE-5 axes ride along the same way: "het" is the mesh with seeded
+  // +/-50% link jitter plus hotspots routed cost-aware (swp walks the
+  // heterogeneous Floyd-Warshall table), "policy" the uniform torus under
+  // the alternating-XY load-spreading policy -- so both the heterogeneous
+  // distance table and the non-default next-hop construction stay on the
+  // perf trajectory.
   struct TopologyCase {
     const char* display;   ///< bench name component, e.g. "mesh"
     const char* topology;  ///< make_topology_platform registry name
@@ -126,7 +132,9 @@ void register_routed_benchmarks() {
   const std::vector<TopologyCase> topologies = {
       {"ring", "ring", 1},          {"star", "star", 1},
       {"random", "random", 20260729}, {"mesh", "mesh2x5", 1},
-      {"torus", "torus2x5", 1},     {"fattree", "fattree2x3", 1}};
+      {"torus", "torus2x5", 1},     {"fattree", "fattree2x3", 1},
+      {"het", "mesh2x5:het0.5:hot0.2:swp", 20260729},
+      {"policy", "torus2x5:alt", 1}};
   for (const int n : {1000, 5000}) {
     for (const TopologyCase& t : topologies) {
       for (const bool run_ilha : {false, true}) {

@@ -1,7 +1,9 @@
 // The §4.3 routing extension in action: schedule one of the paper's
 // kernels on a fully connected network, a ring, a star, a 2x3 mesh, a
-// torus, and a fat tree with identical processors, and watch the sparse
-// interconnects pay for their multi-hop store-and-forward messages.
+// torus, a fat tree, a heterogeneous-cost mesh (seeded link jitter,
+// cost-aware swp routes), and an alternating-XY torus with identical
+// processors, and watch the sparse interconnects pay for their
+// multi-hop store-and-forward messages.
 //
 //   $ ./examples/routed_network --testbed=LAPLACE --n=24
 #include <iostream>
@@ -29,8 +31,9 @@ int main(int argc, char** argv) {
   const std::vector<double> cycles{1, 1, 2, 2, 3, 3};
 
   std::cout << "one-port scheduling of " << testbed_name << "(" << n
-            << "), c=" << c << ", same processor speeds under six network "
-            << "topologies (the fat tree recycles them over 7 nodes)\n\n";
+            << "), c=" << c << ", same processor speeds under eight "
+            << "network topologies (the fat tree recycles them over 7 "
+            << "nodes)\n\n";
 
   csv::Table table({"topology", "scheduler", "makespan", "ratio",
                     "messages(hops)"});
@@ -64,8 +67,12 @@ int main(int argc, char** argv) {
   // The structured networks of ISSUE-4: the same six processors as a 2x3
   // mesh and torus (XY dimension-ordered routes), and their speeds
   // recycled over a 2-level arity-2 fat tree (up-down routes, links
-  // tapering fatter toward the root).
-  for (const char* name : {"mesh2x3", "torus2x3", "fattree2x2"}) {
+  // tapering fatter toward the root).  The ':'-suffixed names (ISSUE-5)
+  // make link heterogeneity and routing policy part of the axis: seeded
+  // +/-50% link jitter routed cost-aware (swp), and the alternating-XY
+  // load-spreading policy on the uniform torus.
+  for (const char* name : {"mesh2x3", "torus2x3", "fattree2x2",
+                           "mesh2x3:het0.5:swp", "torus2x3:alt"}) {
     const RoutedPlatform routed = make_topology_platform(name, cycles, 1.0);
     run(name, routed.platform, &routed.routing);
   }

@@ -17,11 +17,14 @@
 // ring/star/line/random-connected/mesh/torus/fat-tree network and
 // schedule store-and-forward chains along its routed paths (structured
 // names fix the processor count and recycle the paper platform's cycle
-// times).  Topology names are validated against the registry before the
-// sweep starts: a typo is a hard error listing the known names, not a
-// point failure deep inside the grid.  Every grid point is validated
-// under the model implied by the scheduler name unless --no-validate is
-// given.
+// times).  Structured names take ':' suffixes making link heterogeneity
+// and routing policy sweep axes -- e.g. mesh4x4:het0.5:swp = seeded
+// +/-50% link jitter routed by cost-aware shortest-weighted-path; see
+// docs/TOPOLOGIES.md for the full grammar.  Topology names are
+// validated against the registry before the sweep starts: a typo is a
+// hard error listing the known names, not a point failure deep inside
+// the grid.  Every grid point is validated under the model implied by
+// the scheduler name unless --no-validate is given.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -107,7 +110,18 @@ int run(int argc, char** argv) {
            "fattree<L>x<A>]\n"
            "                 [--comm-ratio=10] [--chunk=38] [--workers=0]\n"
            "                 [--topology-seed=1] [--no-validate]\n"
-           "                 [--csv=out.csv] [--json=out.json] [--quiet]\n";
+           "                 [--csv=out.csv] [--json=out.json] [--quiet]\n"
+           "\n"
+           "Structured topology names take ':' suffixes for per-link\n"
+           "heterogeneity and the routing policy axis (defaults: xy on\n"
+           "mesh/torus, updown on fattree), e.g. mesh4x4:het0.5:swp:\n"
+           "  :het<A>    seeded link jitter, cost *= U[1-A, 1+A), 0<A<1\n"
+           "  :hot<P>    seeded hotspot links (prob. P, cost x8), 0<P<=1\n"
+           "  :aniso<F>  column links cost F x row links (mesh/torus)\n"
+           "  :xy|:alt   routing policy: dimension-ordered XY /\n"
+           "             alternating XY-YX load spreading (mesh/torus)\n"
+           "  :updown    up-down through the LCA (fattree)\n"
+           "  :swp       cost-aware shortest-weighted-path (any)\n";
     return 0;
   }
 

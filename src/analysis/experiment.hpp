@@ -69,14 +69,19 @@ struct SweepPoint {
   int chunk_size = 38;  ///< ILHA's B (ignored by other schedulers)
   /// Network shape: "full" schedules on the platform passed to run_sweep
   /// (no routing); any make_topology_platform name -- "ring", "star",
-  /// "line", "random", "mesh<R>x<C>", "torus<R>x<C>", "fattree<L>x<A>" --
-  /// rebuilds a sparse platform from that platform's cycle times (unit
-  /// base link cost) and schedules store-and-forward chains along its
-  /// routed paths.  Routed platforms come from the process-wide
-  /// shared_topology_platform cache, so a grid sweep builds each
-  /// (topology, seed) network once instead of once per point.
+  /// "line", "random", "mesh<R>x<C>", "torus<R>x<C>", "fattree<L>x<A>",
+  /// including the ':het'/':hot'/':aniso'/policy suffixes that make link
+  /// heterogeneity and routing policy grid axes (e.g.
+  /// "mesh4x4:het0.5:swp") -- rebuilds a sparse platform from that
+  /// platform's cycle times (unit base link cost) and schedules
+  /// store-and-forward chains along its routed paths.  Routed platforms
+  /// come from the process-wide shared_topology_platform cache, so a
+  /// grid sweep builds each (topology, seed) network once instead of
+  /// once per point.
   std::string topology = "full";
-  std::uint64_t topology_seed = 1;  ///< seed for the "random" topology
+  /// Seed for the "random" topology and the seeded ':het'/':hot' link
+  /// cost generators.
+  std::uint64_t topology_seed = 1;
 };
 
 struct SweepResult {
@@ -116,12 +121,15 @@ struct SweepOptions {
 /// Process-wide routed-platform cache for grid sweeps (ROADMAP item):
 /// keyed by (topology name, seed, link, cycle times), the first call per
 /// key builds the platform and its RoutingTable (Floyd-Warshall for the
-/// unstructured names, XY/up-down construction for mesh/torus/fattree);
-/// every later call -- from any worker thread -- returns the same
-/// immutable instance.  A topology x testbed x size x scheduler grid
-/// therefore builds each network once instead of once per grid point.
-/// The cycle times participate in the key, so two sweeps over different
-/// base platforms can never alias.
+/// unstructured names and the ':swp' policy, XY/alternating/up-down
+/// construction for mesh/torus/fattree); every later call -- from any
+/// worker thread -- returns the same immutable instance.  A topology x
+/// testbed x size x scheduler grid therefore builds each network once
+/// instead of once per grid point.  The full suffixed name is the key's
+/// first component and the seed its second, so "mesh3x3",
+/// "mesh3x3:swp", and "mesh3x3:het0.5" (or the same ':het' shape under
+/// two seeds) can never alias; cycle times participate too, so two
+/// sweeps over different base platforms stay distinct.
 [[nodiscard]] std::shared_ptr<const RoutedPlatform> shared_topology_platform(
     const std::string& topology, const std::vector<double>& cycle_times,
     double link = 1.0, std::uint64_t seed = 1);

@@ -1,12 +1,84 @@
 #include "platform/routing.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace oneport {
+
+namespace linkcost {
+
+namespace {
+
+/// One SplitMix64 draw keyed by (seed, canonical endpoint pair): every
+/// link gets its own independent stream position, so costs are a pure
+/// function of the endpoints regardless of link enumeration order.
+double edge_uniform01(std::uint64_t seed, ProcId u, ProcId v) {
+  const auto a = static_cast<std::uint64_t>(u < v ? u : v);
+  const auto b = static_cast<std::uint64_t>(u < v ? v : u);
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ULL + a * 0xBF58476D1CE4E5B9ULL +
+                 b * 0x94D049BB133111EBULL + 0x2545F4914F6CDD1DULL);
+  return rng.uniform01();
+}
+
+}  // namespace
+
+LinkCostFn jitter(double amplitude, std::uint64_t seed) {
+  OP_REQUIRE(amplitude > 0.0 && amplitude < 1.0,
+             "jitter amplitude must be in (0, 1), got " << amplitude);
+  return [amplitude, seed](ProcId u, ProcId v, int /*dim*/, double base) {
+    return base * (1.0 - amplitude +
+                   2.0 * amplitude * edge_uniform01(seed, u, v));
+  };
+}
+
+LinkCostFn hotspot(double probability, double factor, std::uint64_t seed) {
+  OP_REQUIRE(probability > 0.0 && probability <= 1.0,
+             "hotspot probability must be in (0, 1], got " << probability);
+  OP_REQUIRE(factor > 0.0 && std::isfinite(factor),
+             "hotspot factor must be positive and finite");
+  // Salted so a link's hotspot toss is independent of its jitter draw
+  // when both suffixes share the topology seed.
+  const std::uint64_t salted = seed ^ 0xD1B54A32D192ED03ULL;
+  return [probability, factor, salted](ProcId u, ProcId v, int /*dim*/,
+                                       double base) {
+    return edge_uniform01(salted, u, v) < probability ? base * factor : base;
+  };
+}
+
+LinkCostFn anisotropy(double factor) {
+  OP_REQUIRE(factor > 0.0 && std::isfinite(factor),
+             "anisotropy factor must be positive and finite");
+  return [factor](ProcId /*u*/, ProcId /*v*/, int dim, double base) {
+    return dim == 1 ? base * factor : base;
+  };
+}
+
+LinkCostFn compose(std::vector<LinkCostFn> fns) {
+  return [fns = std::move(fns)](ProcId u, ProcId v, int dim, double base) {
+    for (const LinkCostFn& fn : fns) base = fn(u, v, dim, base);
+    return base;
+  };
+}
+
+}  // namespace linkcost
+
+const char* routing_policy_name(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kDimensionOrdered:
+      return "xy";
+    case RoutingPolicy::kAlternating:
+      return "alt";
+    case RoutingPolicy::kUpDown:
+      return "updown";
+    case RoutingPolicy::kWeightedShortest:
+      return "swp";
+  }
+  return "?";
+}
 
 RoutingTable RoutingTable::shortest_paths(const Platform& platform) {
   const int p = platform.num_processors();
@@ -299,10 +371,182 @@ std::vector<double> recycle_cycles(const std::vector<double>& cycle,
   return out;
 }
 
+/// Parsed form of a topology name with its ':' suffixes; the single
+/// source of truth shared by make_topology_platform and
+/// validate_topology_name, so the cheap up-front gate and the builder
+/// can never disagree on a verdict.
+struct TopologySpec {
+  enum class Kind { kRing, kStar, kLine, kRandom, kMesh, kTorus, kFatTree };
+  Kind kind = Kind::kRing;
+  TopologyDims dims;     ///< rows x cols / levels x arity (structured only)
+  double jitter = 0.0;   ///< :het<A> amplitude (0 = uniform)
+  double hot = 0.0;      ///< :hot<P> probability (0 = no hotspots)
+  double aniso = 1.0;    ///< :aniso<F> column-link factor (1 = isotropic)
+  /// ':aniso1' is legal and equals the sentinel, so presence needs its
+  /// own flag for the duplicate-suffix check.
+  bool has_aniso = false;
+  bool has_policy = false;
+  RoutingPolicy policy = RoutingPolicy::kDimensionOrdered;
+
+  [[nodiscard]] bool structured() const {
+    return kind == Kind::kMesh || kind == Kind::kTorus ||
+           kind == Kind::kFatTree;
+  }
+  [[nodiscard]] bool mesh_like() const {
+    return kind == Kind::kMesh || kind == Kind::kTorus;
+  }
+};
+
+/// Strictly parses a positive finite double covering the whole string
+/// ("0.5", "2", "1e-1"); rejects empty/trailing garbage/inf/nan.
+bool parse_positive_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (!(value > 0.0) || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+TopologySpec parse_topology_spec(const std::string& topology) {
+  // Split "<base>[:<suffix>]..." -- the base names the shape, the
+  // suffixes add link heterogeneity and a routing policy.
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = topology.find(':', start);
+    tokens.push_back(topology.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  const std::string& base = tokens.front();
+
+  TopologySpec spec;
+  if (base == "ring") {
+    spec.kind = TopologySpec::Kind::kRing;
+  } else if (base == "star") {
+    spec.kind = TopologySpec::Kind::kStar;
+  } else if (base == "line") {
+    spec.kind = TopologySpec::Kind::kLine;
+  } else if (base == "random") {
+    spec.kind = TopologySpec::Kind::kRandom;
+  } else if (parse_dims(base, "mesh", spec.dims)) {
+    spec.kind = TopologySpec::Kind::kMesh;
+  } else if (parse_dims(base, "torus", spec.dims)) {
+    spec.kind = TopologySpec::Kind::kTorus;
+  } else if (parse_dims(base, "fattree", spec.dims)) {
+    spec.kind = TopologySpec::Kind::kFatTree;
+  } else {
+    OP_REQUIRE(false, "unknown topology '" << topology
+                                           << "'; known: "
+                                           << known_topology_names());
+  }
+
+  // Shape sanity (the cap must run before any node-count-sized
+  // allocation, so it lives here rather than in the builders alone).
+  if (spec.mesh_like()) {
+    const long long nodes = static_cast<long long>(spec.dims.a) * spec.dims.b;
+    OP_REQUIRE(nodes >= 2, "'" << base << "' needs at least two processors");
+    OP_REQUIRE(nodes <= kMaxTopologyNodes,
+               "'" << base << "' exceeds " << kMaxTopologyNodes << " nodes");
+  } else if (spec.kind == TopologySpec::Kind::kFatTree) {
+    OP_REQUIRE(spec.dims.b >= 2,
+               "'" << base << "' needs an arity of at least 2");
+    fat_tree_node_count(spec.dims.a, spec.dims.b);  // throws over the cap
+  }
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    OP_REQUIRE(spec.structured(),
+               "topology '" << base << "' does not take ':' suffixes; "
+                            << "heterogeneity/policy axes need a "
+                               "mesh/torus/fattree name");
+    OP_REQUIRE(!tok.empty(), "empty suffix in topology '" << topology << "'");
+    if (tok == "xy" || tok == "alt" || tok == "updown" || tok == "swp") {
+      OP_REQUIRE(!spec.has_policy, "duplicate routing policy suffix ':"
+                                       << tok << "' in '" << topology << "'");
+      spec.has_policy = true;
+      if (tok == "xy") {
+        spec.policy = RoutingPolicy::kDimensionOrdered;
+      } else if (tok == "alt") {
+        spec.policy = RoutingPolicy::kAlternating;
+      } else if (tok == "updown") {
+        spec.policy = RoutingPolicy::kUpDown;
+      } else {
+        spec.policy = RoutingPolicy::kWeightedShortest;
+      }
+      const bool compatible =
+          spec.policy == RoutingPolicy::kWeightedShortest ||
+          (spec.policy == RoutingPolicy::kUpDown
+               ? spec.kind == TopologySpec::Kind::kFatTree
+               : spec.mesh_like());
+      OP_REQUIRE(compatible, "policy ':" << tok << "' does not apply to '"
+                                         << base
+                                         << "' (xy/alt need a mesh/torus, "
+                                            "updown a fattree)");
+    } else if (tok.rfind("het", 0) == 0) {
+      OP_REQUIRE(spec.jitter == 0.0, "duplicate ':het' suffix in '"
+                                         << topology << "'");
+      double a = 0.0;
+      OP_REQUIRE(parse_positive_double(tok.substr(3), a) && a < 1.0,
+                 "malformed suffix ':" << tok << "' in '" << topology
+                                       << "'; expected :het<A> with A in "
+                                          "(0, 1)");
+      spec.jitter = a;
+    } else if (tok.rfind("hot", 0) == 0) {
+      OP_REQUIRE(spec.hot == 0.0, "duplicate ':hot' suffix in '" << topology
+                                                                 << "'");
+      double p = 0.0;
+      OP_REQUIRE(parse_positive_double(tok.substr(3), p) && p <= 1.0,
+                 "malformed suffix ':" << tok << "' in '" << topology
+                                       << "'; expected :hot<P> with P in "
+                                          "(0, 1]");
+      spec.hot = p;
+    } else if (tok.rfind("aniso", 0) == 0) {
+      OP_REQUIRE(spec.mesh_like(),
+                 "':aniso' needs the two dimensions of a mesh/torus, not '"
+                     << base << "'");
+      OP_REQUIRE(!spec.has_aniso, "duplicate ':aniso' suffix in '"
+                                      << topology << "'");
+      spec.has_aniso = true;
+      double f = 0.0;
+      OP_REQUIRE(parse_positive_double(tok.substr(5), f),
+                 "malformed suffix ':" << tok << "' in '" << topology
+                                       << "'; expected :aniso<F> with "
+                                          "F > 0");
+      spec.aniso = f;
+    } else {
+      OP_REQUIRE(false, "unknown suffix ':"
+                            << tok << "' in topology '" << topology
+                            << "'; suffixes: het<A>, hot<P>, aniso<F>, and "
+                               "a policy xy|alt|swp|updown");
+    }
+  }
+  return spec;
+}
+
+/// Final per-item cost of the physical link (u, v): the generator (when
+/// set) transforms the builder's base cost; the result must stay a valid
+/// link cost whatever the generator did.
+double link_cost(const LinkCostFn& cost, ProcId u, ProcId v, int dim,
+                 double base) {
+  if (!cost) return base;
+  const double c = cost(u < v ? u : v, u < v ? v : u, dim, base);
+  OP_REQUIRE(c > 0.0 && std::isfinite(c),
+             "link cost generator returned " << c << " for link P" << u
+                                             << " <-> P" << v
+                                             << "; costs must be positive "
+                                                "and finite");
+  return c;
+}
+
 }  // namespace
 
 RoutedPlatform make_mesh2d_platform(std::vector<double> cycle_times, int rows,
-                                    int cols, bool wrap, double link) {
+                                    int cols, bool wrap, double link,
+                                    const LinkCostFn& cost,
+                                    RoutingPolicy policy) {
   OP_REQUIRE(rows >= 1 && cols >= 1, "mesh dimensions must be positive");
   const long long nodes = static_cast<long long>(rows) * cols;
   OP_REQUIRE(nodes >= 2, "a mesh needs at least two processors");
@@ -311,41 +555,52 @@ RoutedPlatform make_mesh2d_platform(std::vector<double> cycle_times, int rows,
   OP_REQUIRE(cycle_times.size() == static_cast<std::size_t>(nodes),
              "cycle_times size must equal rows * cols");
   OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  OP_REQUIRE(policy != RoutingPolicy::kUpDown,
+             "up-down routing needs a tree; meshes take xy, alt, or swp");
   const auto n = static_cast<std::size_t>(nodes);
   const auto id = [cols](int r, int c) { return r * cols + c; };
   const auto at = [](int v) { return static_cast<std::size_t>(v); };
 
+  // Row (dimension-0) and column (dimension-1) links, each priced
+  // through the generator so heterogeneous meshes stay a pure function
+  // of the endpoints.
   Matrix<double> m(n, n, kNoLink);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
+  const auto connect = [&](int u, int v, int dim) {
+    const double c = link_cost(cost, u, v, dim, link);
+    m(at(u), at(v)) = c;
+    m(at(v), at(u)) = c;
+  };
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
-      if (c + 1 < cols) {
-        m(at(id(r, c)), at(id(r, c + 1))) = link;
-        m(at(id(r, c + 1)), at(id(r, c))) = link;
-      }
-      if (r + 1 < rows) {
-        m(at(id(r, c)), at(id(r + 1, c))) = link;
-        m(at(id(r + 1, c)), at(id(r, c))) = link;
-      }
+      if (c + 1 < cols) connect(id(r, c), id(r, c + 1), 0);
+      if (r + 1 < rows) connect(id(r, c), id(r + 1, c), 1);
     }
     // Wrap-around links only make a dimension of size >= 3 rounder; for
     // size 2 the wrap edge is the direct edge that already exists.
-    if (wrap && cols >= 3) {
-      m(at(id(r, cols - 1)), at(id(r, 0))) = link;
-      m(at(id(r, 0)), at(id(r, cols - 1))) = link;
-    }
+    if (wrap && cols >= 3) connect(id(r, cols - 1), id(r, 0), 0);
   }
   if (wrap && rows >= 3) {
-    for (int c = 0; c < cols; ++c) {
-      m(at(id(rows - 1, c)), at(id(0, c))) = link;
-      m(at(id(0, c)), at(id(rows - 1, c))) = link;
-    }
+    for (int c = 0; c < cols; ++c) connect(id(rows - 1, c), id(0, c), 1);
   }
 
-  // Dimension-ordered (XY) routing: correct the column first, then the
-  // row.  On a torus each dimension takes the shorter way around; exact
-  // antipodes tie toward the increasing index, so routes are a pure
-  // function of the coordinates.
+  Platform platform(std::move(cycle_times), std::move(m));
+  if (policy == RoutingPolicy::kWeightedShortest) {
+    // Cost-aware: Floyd-Warshall over the actual (possibly heterogeneous)
+    // link costs, deterministic ties as documented on shortest_paths.
+    RoutingTable routing = RoutingTable::shortest_paths(platform);
+    return {std::move(platform), std::move(routing)};
+  }
+
+  // Structural policies.  kDimensionOrdered corrects the column first,
+  // then the row; kAlternating spreads load by letting each forwarding
+  // node pick its own dimension order by id parity (even = column
+  // first, odd = row first) -- every hop still shortens the remaining
+  // Manhattan/ring distance by one, so routes stay loop-free and
+  // hop-minimal whatever mix of parities a path crosses.  On a torus
+  // each dimension takes the shorter way around; exact antipodes tie
+  // toward the increasing index, so routes are a pure function of the
+  // coordinates.
   const auto step = [wrap](int from, int to, int size) {
     if (!wrap) return from + (to > from ? 1 : -1);
     const int fwd = ((to - from) % size + size) % size;
@@ -359,8 +614,10 @@ RoutedPlatform make_mesh2d_platform(std::vector<double> cycle_times, int rows,
         for (int c2 = 0; c2 < cols; ++c2) {
           const int u = id(r1, c1);
           const int v = id(r2, c2);
+          const bool column_first =
+              policy == RoutingPolicy::kDimensionOrdered || u % 2 == 0;
           int hop = u;
-          if (c1 != c2) {
+          if (c1 != c2 && (column_first || r1 == r2)) {
             hop = id(r1, step(c1, c2, cols));
           } else if (r1 != r2) {
             hop = id(step(r1, r2, rows), c1);
@@ -371,7 +628,6 @@ RoutedPlatform make_mesh2d_platform(std::vector<double> cycle_times, int rows,
     }
   }
 
-  Platform platform(std::move(cycle_times), std::move(m));
   Matrix<double> dist = dist_from_next(platform, next);
   RoutingTable routing = RoutingTable::from_tables(
       static_cast<int>(nodes), std::move(dist), std::move(next));
@@ -380,12 +636,16 @@ RoutedPlatform make_mesh2d_platform(std::vector<double> cycle_times, int rows,
 
 RoutedPlatform make_fat_tree_platform(std::vector<double> cycle_times,
                                       int levels, int arity, double taper,
-                                      double link) {
+                                      double link, const LinkCostFn& cost,
+                                      RoutingPolicy policy) {
   OP_REQUIRE(levels >= 1, "a fat tree needs at least one level below root");
   OP_REQUIRE(arity >= 2, "fat-tree arity must be at least 2");
   OP_REQUIRE(taper > 0.0 && std::isfinite(taper),
              "taper must be positive and finite");
   OP_REQUIRE(link > 0.0 && std::isfinite(link), "link cost must be finite");
+  OP_REQUIRE(policy == RoutingPolicy::kUpDown ||
+                 policy == RoutingPolicy::kWeightedShortest,
+             "fat trees route up-down or swp; xy/alt need a mesh");
   const int p = static_cast<int>(fat_tree_node_count(levels, arity));
   OP_REQUIRE(cycle_times.size() == static_cast<std::size_t>(p),
              "cycle_times size must equal the fat-tree node count "
@@ -415,16 +675,27 @@ RoutedPlatform make_fat_tree_platform(std::vector<double> cycle_times,
 
   // Links taper toward the root: the edge above a depth-d node costs
   // link / taper^(levels - d), so leaf links cost `link` and every level
-  // up is `taper` times fatter.
+  // up is `taper` times fatter.  The generator (when set) transforms the
+  // tapered base cost per edge; tree edges are all dimension 0.
   Matrix<double> m(n, n, kNoLink);
   for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
   for (int node = 1; node < p; ++node) {
-    const double cost =
+    const double base =
         link / std::pow(taper, levels - depth[static_cast<std::size_t>(node)]);
     const auto u = static_cast<std::size_t>(node);
     const auto v = static_cast<std::size_t>(parent[u]);
-    m(u, v) = cost;
-    m(v, u) = cost;
+    const double c = link_cost(cost, node, parent[u], /*dim=*/0, base);
+    m(u, v) = c;
+    m(v, u) = c;
+  }
+
+  if (policy == RoutingPolicy::kWeightedShortest) {
+    // A tree has a unique simple path per pair, so swp picks the same
+    // hop sequences as up-down -- but through the cost-aware
+    // Floyd-Warshall, exercising the other table-construction path.
+    Platform platform(std::move(cycle_times), std::move(m));
+    RoutingTable routing = RoutingTable::shortest_paths(platform);
+    return {std::move(platform), std::move(routing)};
   }
 
   // Up-down routing: climb to the lowest common ancestor, then descend
@@ -462,74 +733,73 @@ RoutedPlatform make_fat_tree_platform(std::vector<double> cycle_times,
 RoutedPlatform make_topology_platform(const std::string& topology,
                                       std::vector<double> cycle_times,
                                       double link, std::uint64_t seed) {
-  if (topology == "ring") return make_ring_platform(std::move(cycle_times), link);
-  if (topology == "star") return make_star_platform(std::move(cycle_times), link);
-  if (topology == "line") return make_line_platform(std::move(cycle_times), link);
-  if (topology == "random") {
-    return make_random_connected_platform(std::move(cycle_times),
-                                          /*edge_probability=*/0.35, seed,
-                                          0.5 * link, 1.5 * link);
+  // parse_topology_spec validates everything -- base, dimensions, node
+  // cap (which must run before any node-count-sized allocation), and the
+  // suffix grammar -- so this function only dispatches.
+  const TopologySpec spec = parse_topology_spec(topology);
+  switch (spec.kind) {
+    case TopologySpec::Kind::kRing:
+      return make_ring_platform(std::move(cycle_times), link);
+    case TopologySpec::Kind::kStar:
+      return make_star_platform(std::move(cycle_times), link);
+    case TopologySpec::Kind::kLine:
+      return make_line_platform(std::move(cycle_times), link);
+    case TopologySpec::Kind::kRandom:
+      return make_random_connected_platform(std::move(cycle_times),
+                                            /*edge_probability=*/0.35, seed,
+                                            0.5 * link, 1.5 * link);
+    default:
+      break;
   }
-  TopologyDims dims;
-  if (parse_dims(topology, "mesh", dims) ||
-      parse_dims(topology, "torus", dims)) {
-    // The cap must run before recycle_cycles: the whole point of
-    // kMaxTopologyNodes is to fail fast instead of attempting the
-    // node-count-sized allocation for a name like "mesh99999x99999".
-    const long long nodes = static_cast<long long>(dims.a) * dims.b;
-    OP_REQUIRE(nodes <= kMaxTopologyNodes,
-               "'" << topology << "' exceeds " << kMaxTopologyNodes
-                   << " nodes");
-    const bool wrap = topology[0] == 't';
-    return make_mesh2d_platform(
-        recycle_cycles(cycle_times, static_cast<std::size_t>(nodes)), dims.a,
-        dims.b, wrap, link);
+
+  // The ':het'/':hot' draws hash the topology seed per edge, so the seed
+  // axis distinguishes heterogeneous instances of the same shape (and
+  // participates in the shared_topology_platform cache key).
+  std::vector<LinkCostFn> fns;
+  if (spec.jitter > 0.0) fns.push_back(linkcost::jitter(spec.jitter, seed));
+  if (spec.hot > 0.0) {
+    fns.push_back(linkcost::hotspot(spec.hot, /*factor=*/8.0, seed));
   }
-  if (parse_dims(topology, "fattree", dims)) {
+  if (spec.aniso != 1.0) fns.push_back(linkcost::anisotropy(spec.aniso));
+  const LinkCostFn cost = fns.empty()    ? LinkCostFn{}
+                          : fns.size() == 1 ? fns.front()
+                                            : linkcost::compose(std::move(fns));
+
+  if (spec.mesh_like()) {
     const auto nodes =
-        static_cast<std::size_t>(fat_tree_node_count(dims.a, dims.b));
-    return make_fat_tree_platform(recycle_cycles(cycle_times, nodes), dims.a,
-                                  dims.b, /*taper=*/2.0, link);
+        static_cast<std::size_t>(spec.dims.a) *
+        static_cast<std::size_t>(spec.dims.b);
+    const bool wrap = spec.kind == TopologySpec::Kind::kTorus;
+    const RoutingPolicy policy =
+        spec.has_policy ? spec.policy : RoutingPolicy::kDimensionOrdered;
+    return make_mesh2d_platform(recycle_cycles(cycle_times, nodes),
+                                spec.dims.a, spec.dims.b, wrap, link, cost,
+                                policy);
   }
-  OP_REQUIRE(false, "unknown topology '" << topology
-                                         << "'; known: "
-                                         << known_topology_names());
-  // Unreachable; OP_REQUIRE above always throws.
-  return make_ring_platform(std::move(cycle_times), link);
+  const auto nodes =
+      static_cast<std::size_t>(fat_tree_node_count(spec.dims.a, spec.dims.b));
+  const RoutingPolicy policy =
+      spec.has_policy ? spec.policy : RoutingPolicy::kUpDown;
+  return make_fat_tree_platform(recycle_cycles(cycle_times, nodes),
+                                spec.dims.a, spec.dims.b, /*taper=*/2.0, link,
+                                cost, policy);
 }
 
 const std::string& known_topology_names() {
   static const std::string names =
       "ring, star, line, random, mesh<R>x<C>, torus<R>x<C>, "
-      "fattree<L>x<A>";
+      "fattree<L>x<A>; structured names take ':' suffixes -- "
+      ":het<A> (link jitter, 0<A<1), :hot<P> (hotspot links, 0<P<=1), "
+      ":aniso<F> (column-link factor, mesh/torus), and a routing policy "
+      ":xy|:alt (mesh/torus), :updown (fattree), :swp (cost-aware, any) "
+      "-- e.g. mesh4x4:het0.5:swp";
   return names;
 }
 
 void validate_topology_name(const std::string& topology) {
-  if (topology == "ring" || topology == "star" || topology == "line" ||
-      topology == "random") {
-    return;
-  }
-  TopologyDims dims;
-  if (parse_dims(topology, "mesh", dims) ||
-      parse_dims(topology, "torus", dims)) {
-    const long long nodes = static_cast<long long>(dims.a) * dims.b;
-    OP_REQUIRE(nodes >= 2,
-               "'" << topology << "' needs at least two processors");
-    OP_REQUIRE(nodes <= kMaxTopologyNodes,
-               "'" << topology << "' exceeds " << kMaxTopologyNodes
-                   << " nodes");
-    return;
-  }
-  if (parse_dims(topology, "fattree", dims)) {
-    OP_REQUIRE(dims.b >= 2,
-               "'" << topology << "' needs an arity of at least 2");
-    fat_tree_node_count(dims.a, dims.b);  // throws over kMaxTopologyNodes
-    return;
-  }
-  OP_REQUIRE(false, "unknown topology '" << topology
-                                         << "'; known: "
-                                         << known_topology_names());
+  // Same parser as make_topology_platform, so the cheap gate and the
+  // builder agree verdict for verdict; nothing is allocated or built.
+  (void)parse_topology_spec(topology);
 }
 
 }  // namespace oneport

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -22,6 +23,79 @@ namespace oneport {
 
 /// Marker for "no direct link" in a Platform's link matrix.
 inline constexpr double kNoLink = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------ per-link cost generators
+
+/// Deterministic per-link cost generator for the structured topology
+/// builders.  Called exactly once per undirected physical link with the
+/// canonical endpoint pair (u < v), the link's dimension tag (0 = row/X
+/// links and fat-tree edges, 1 = column/Y links) and the base cost the
+/// uniform builder would have used (which already encodes the fat-tree
+/// taper); returns the final per-item cost, which must be positive and
+/// finite.  Costs are a pure function of (u, v), never of construction
+/// order, so heterogeneous networks reproduce bit-identically.
+using LinkCostFn =
+    std::function<double(ProcId u, ProcId v, int dim, double base)>;
+
+/// Named seeded generators behind the ':het' / ':hot' / ':aniso' topology
+/// name suffixes (see make_topology_platform).  All of them hash the
+/// canonical (u, v) pair with the seed, so two links never share a draw
+/// and the result is independent of link enumeration order.
+namespace linkcost {
+
+/// base * U[1 - amplitude, 1 + amplitude); requires amplitude in (0, 1)
+/// so costs stay positive.  The ':het<A>' suffix.
+[[nodiscard]] LinkCostFn jitter(double amplitude, std::uint64_t seed);
+
+/// Each link independently becomes a hotspot with `probability`, costing
+/// base * factor; requires probability in (0, 1] and factor > 0.  The
+/// ':hot<P>' suffix (factor 8).
+[[nodiscard]] LinkCostFn hotspot(double probability, double factor,
+                                 std::uint64_t seed);
+
+/// Dimension-1 (column/Y) links cost base * factor, dimension-0 links
+/// are untouched; requires factor > 0 and finite.  The ':aniso<F>'
+/// suffix (mesh/torus only -- fat-tree edges are all dimension 0).
+[[nodiscard]] LinkCostFn anisotropy(double factor);
+
+/// Applies `fns` left to right, each transforming the previous cost, so
+/// e.g. jitter-then-hotspot composes multiplicatively.
+[[nodiscard]] LinkCostFn compose(std::vector<LinkCostFn> fns);
+
+}  // namespace linkcost
+
+// ----------------------------------------------------- routing policies
+
+/// How a structured topology turns its link matrix into a next-hop
+/// table.  The structural defaults (XY, up-down) ignore link costs; the
+/// cost-aware and load-spreading alternatives exercise
+/// RoutingTable::from_tables with genuinely different tables on the same
+/// physical network.  Selected through the ':xy'/':alt'/':updown'/':swp'
+/// topology name suffixes.
+enum class RoutingPolicy {
+  /// Dimension-ordered XY (mesh/torus default): correct the column
+  /// first, then the row; each torus dimension takes the shorter way
+  /// around, antipode ties toward the increasing index.
+  kDimensionOrdered,
+  /// Deterministic load-spreading variant of XY (O1-turn style): each
+  /// node forwards column-first when its id is even and row-first when
+  /// odd, so traffic spreads over both dimension orders while every hop
+  /// still shortens the Manhattan/ring distance (loop-free, minimal).
+  kAlternating,
+  /// Up-down through the lowest common ancestor (fat-tree default) --
+  /// the unique tree path.
+  kUpDown,
+  /// Cost-aware shortest weighted path: Floyd-Warshall over the actual
+  /// (possibly heterogeneous) link costs via RoutingTable::shortest_paths,
+  /// with its exact-compare fewer-hops/smallest-next-hop tie-break.  On a
+  /// heterogeneous mesh this deviates from XY whenever a detour is
+  /// cheaper than the dimension-ordered walk.
+  kWeightedShortest,
+};
+
+/// Stable lower-case name ("xy", "alt", "updown", "swp") for diagnostics
+/// and the topology-name grammar.
+[[nodiscard]] const char* routing_policy_name(RoutingPolicy policy);
 
 class RoutingTable {
  public:
@@ -101,29 +175,36 @@ struct RoutedPlatform {
 /// 2D mesh of rows x cols processors (row-major ids: (r, c) is
 /// r*cols + c), every grid neighbour linked at cost `link`; `wrap` adds
 /// the wrap-around links in each dimension of size >= 3, turning the
-/// mesh into a torus.  Routing is dimension-ordered (XY): a message
-/// first travels along its row to the destination column, then along
-/// that column -- on a torus each dimension takes the shorter way
-/// around, ties toward the increasing index.  The table is expressed
-/// through RoutingTable::from_tables, so the hop-by-hop invariant
-/// checkers apply to it unchanged.  Requires cycle_times.size() ==
-/// rows * cols.
+/// mesh into a torus.  `cost` (empty = uniform) rewrites every physical
+/// link's per-item cost -- row links are dimension 0, column links
+/// dimension 1 -- and `policy` picks the next-hop construction
+/// (kDimensionOrdered, kAlternating, or kWeightedShortest; kUpDown is
+/// rejected).  The structural policies express the table through
+/// RoutingTable::from_tables with distances derived by walking the hop
+/// chain over the actual link costs, so the hop-by-hop invariant
+/// checkers apply to every policy unchanged.  Requires
+/// cycle_times.size() == rows * cols.
 [[nodiscard]] RoutedPlatform make_mesh2d_platform(
     std::vector<double> cycle_times, int rows, int cols, bool wrap,
-    double link = 1.0);
+    double link = 1.0, const LinkCostFn& cost = {},
+    RoutingPolicy policy = RoutingPolicy::kDimensionOrdered);
 
 /// Complete fat tree of `levels` levels below the root with fan-out
 /// `arity`: node 0 is the root, level k holds arity^k nodes in
 /// breadth-first id order, and every node links only to its parent.
 /// Links taper toward the root: an edge at depth d (child side) costs
 /// link / taper^(levels - d), so leaf links cost `link` and each level
-/// up is `taper` times fatter (taper = 1 gives a plain tree).  Routing
-/// is up-down: up to the lowest common ancestor, then down -- the
-/// unique tree path, expressed through RoutingTable::from_tables.
+/// up is `taper` times fatter (taper = 1 gives a plain tree).  `cost`
+/// (empty = uniform) rewrites each tree edge's tapered cost (all edges
+/// are dimension 0); `policy` is kUpDown -- up to the lowest common
+/// ancestor, then down, the unique tree path -- or kWeightedShortest
+/// (identical hop sequences on a tree, but the table comes from the
+/// cost-aware Floyd-Warshall instead of the structural construction).
 /// Requires cycle_times.size() == (arity^(levels+1) - 1) / (arity - 1).
 [[nodiscard]] RoutedPlatform make_fat_tree_platform(
     std::vector<double> cycle_times, int levels, int arity,
-    double taper = 2.0, double link = 1.0);
+    double taper = 2.0, double link = 1.0, const LinkCostFn& cost = {},
+    RoutingPolicy policy = RoutingPolicy::kUpDown);
 
 /// Name-based factory for sweep axes: "ring", "star", "line", "random"
 /// (spanning tree + 35% extra edges, costs in [0.5, 1.5)*link, seeded
@@ -134,19 +215,36 @@ struct RoutedPlatform {
 /// is recycled cyclically to that length, so any base platform's speeds
 /// map onto any network shape.  Fully-connected sweeps should bypass
 /// routing instead of asking for a "full" topology here.
+///
+/// Structured names additionally take ':'-separated suffixes making link
+/// heterogeneity and routing policy sweep axes (e.g. "mesh4x4:het0.5:swp"):
+///   :het<A>    seeded multiplicative jitter, cost *= U[1-A, 1+A), 0<A<1
+///   :hot<P>    seeded hotspot links: probability P in (0, 1], cost *= 8
+///   :aniso<F>  column links cost F x row links (mesh/torus only), F > 0
+///   :xy | :alt | :swp | :updown   routing policy (RoutingPolicy above);
+///              :xy/:alt are mesh/torus-only, :updown fat-tree-only,
+///              :swp anywhere structured
+/// At most one policy and one suffix of each cost kind; the seeded
+/// suffixes draw from `seed`, which therefore distinguishes two
+/// heterogeneous instances of the same shape.  Unstructured names
+/// (ring/star/line/random) reject suffixes.
 [[nodiscard]] RoutedPlatform make_topology_platform(
     const std::string& topology, std::vector<double> cycle_times,
     double link = 1.0, std::uint64_t seed = 1);
 
 /// Comma-separated human-readable registry of the topology names
-/// make_topology_platform accepts (patterns shown as "mesh<R>x<C>").
+/// make_topology_platform accepts (patterns shown as "mesh<R>x<C>"),
+/// including the ':het'/':hot'/':aniso'/policy suffix grammar.
 [[nodiscard]] const std::string& known_topology_names();
 
 /// Validates `topology` against the registry without building anything:
 /// throws std::invalid_argument listing known_topology_names() for
 /// unknown names, and a specific message for malformed dimensions
-/// (e.g. "mesh3" or "fattree0x2").  Lets CLI drivers reject a typo
-/// up front instead of deep inside a sweep.
+/// (e.g. "mesh3" or "fattree0x2") or suffixes (unknown tokens, values
+/// out of range, a policy the shape does not support, duplicates).
+/// Lets CLI drivers reject a typo up front instead of deep inside a
+/// sweep; verdicts match make_topology_platform exactly because both
+/// run the same parser.
 void validate_topology_name(const std::string& topology);
 
 }  // namespace oneport

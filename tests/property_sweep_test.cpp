@@ -7,9 +7,11 @@
 //
 // Scenarios come in two flavours: fully-connected platforms
 // (scenario_sweep) and sparse routed topologies -- ring, star, random
-// connected, line, two-node, 2D mesh, torus, fat tree -- where messages
-// between non-adjacent processors are store-and-forward chains validated
-// hop by hop against the scenario's RoutingTable (routed_scenario_sweep).
+// connected, line, two-node, 2D mesh, torus, fat tree, heterogeneous-cost
+// meshes (seeded ':het'/':hot' link costs), and non-default routing
+// policies (':alt'/':swp') -- where messages between non-adjacent
+// processors are store-and-forward chains validated hop by hop against
+// the scenario's RoutingTable (routed_scenario_sweep).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -75,18 +77,20 @@ TEST(PropertySweepEdgeCases, AllHeuristicsSatisfyAllInvariants) {
   }
 }
 
-// Sparse-topology axis (the ISSUE-3 tentpole, grown by ISSUE-4): every
-// heuristic under both communication models over ring / star /
+// Sparse-topology axis (the ISSUE-3 tentpole, grown by ISSUE-4/5):
+// every heuristic under both communication models over ring / star /
 // random-connected / line / two-node / 2D-mesh / torus / fat-tree
-// networks, with store-and-forward chains checked hop by hop against
-// the scenario's RoutingTable by the invariant battery.  Count 8 = one
-// full rotation through every topology shape.
+// networks plus heterogeneous-cost meshes and non-default routing
+// policies (alternating XY, cost-aware shortest-weighted-path), with
+// store-and-forward chains checked hop by hop against the scenario's
+// RoutingTable by the invariant battery.  Count 10 = one full rotation
+// through every topology shape.
 class RoutedPropertySweepTest
     : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RoutedPropertySweepTest, AllHeuristicsSatisfyAllInvariants) {
   const std::uint64_t base = GetParam();
-  for (const Scenario& scenario : testsupport::routed_scenario_sweep(base, 8)) {
+  for (const Scenario& scenario : testsupport::routed_scenario_sweep(base, 10)) {
     sweep_scenario(scenario);
   }
 }
@@ -111,7 +115,7 @@ TEST(PropertySweepExtended, HonorsEnvSeedCount) {
       sweep_scenario(scenario);
     }
     for (const Scenario& scenario :
-         testsupport::routed_scenario_sweep(base + 7, 8)) {
+         testsupport::routed_scenario_sweep(base + 7, 10)) {
       sweep_scenario(scenario);
     }
   }
@@ -131,7 +135,7 @@ TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
   for (Scenario& scenario : testsupport::edge_case_scenarios()) {
     scenarios.push_back(std::move(scenario));
   }
-  for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 8)) {
+  for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 10)) {
     scenarios.push_back(std::move(scenario));
   }
   for (const Scenario& scenario : scenarios) {

@@ -120,24 +120,44 @@ std::vector<Scenario> routed_scenario_sweep(std::uint64_t base_seed, int count,
     for (double& t : cycle) t = rng.uniform(options.cycle_lo, options.cycle_hi);
     const double link = rng.uniform(options.link_lo, options.link_hi);
 
-    static const char* const kTopologies[] = {"ring", "star",  "random",
-                                              "line", "two-node", "mesh",
-                                              "torus", "fattree"};
-    std::string topology = kTopologies[i % 8];
+    static const char* const kTopologies[] = {
+        "ring",  "star",    "random", "line", "two-node",
+        "mesh",  "torus",   "fattree", "het",  "policy"};
+    std::string topology = kTopologies[i % 10];
+    // Small random dimensions (2..3 x 2..3 grids, 1..2-level fan-out
+    // 2..3 trees); the name fixes the processor count,
+    // make_topology_platform recycles the cycle times.  The draws are
+    // sequenced as separate statements -- inside one `+` expression
+    // their order would be compiler-dependent and the seeded shapes
+    // would not reproduce across toolchains.
     if (topology == "mesh" || topology == "torus") {
-      // Small random dimensions (2..3 x 2..3); the name fixes the
-      // processor count, make_topology_platform recycles the cycle
-      // times.  The draws are sequenced as separate statements -- inside
-      // one `+` expression their order would be compiler-dependent and
-      // the seeded shapes would not reproduce across toolchains.
       const std::uint64_t rows = 2 + rng.below(2);
       const std::uint64_t cols = 2 + rng.below(2);
       topology += std::to_string(rows) + "x" + std::to_string(cols);
     } else if (topology == "fattree") {
-      // 1..2 levels below the root, fan-out 2..3 (up to 13 nodes).
       const std::uint64_t levels = 1 + rng.below(2);
       const std::uint64_t arity = 2 + rng.below(2);
       topology += std::to_string(levels) + "x" + std::to_string(arity);
+    } else if (topology == "het") {
+      // Heterogeneous-cost mesh (ISSUE-5): seeded link jitter, sometimes
+      // with hotspots, under a per-seed routing policy, so every sweep
+      // rotation pushes a non-uniform network through all P1-P5 checks.
+      const std::uint64_t rows = 2 + rng.below(2);
+      const std::uint64_t cols = 2 + rng.below(2);
+      static const char* const kAmps[] = {":het0.25", ":het0.5", ":het0.75"};
+      const std::uint64_t amp = rng.below(3);
+      const std::uint64_t hot = rng.below(2);
+      static const char* const kPolicies[] = {"", ":alt", ":swp"};
+      const std::uint64_t pol = rng.below(3);
+      topology = "mesh" + std::to_string(rows) + "x" + std::to_string(cols) +
+                 kAmps[amp] + (hot == 1 ? ":hot0.25" : "") + kPolicies[pol];
+    } else if (topology == "policy") {
+      // Non-default routing policy on a uniform structured network: the
+      // load-spreading alternating-XY torus, the cost-aware swp torus
+      // (where wrap links give swp real choices), or a swp fat tree.
+      static const char* const kShapes[] = {"torus2x4:alt", "torus3x3:swp",
+                                            "fattree2x2:swp"};
+      topology = kShapes[rng.below(3)];
     }
     RoutedPlatform routed =
         topology == "two-node"

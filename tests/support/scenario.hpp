@@ -84,10 +84,13 @@ struct Scenario {
 
 /// `count` sparse-topology scenarios seeded base_seed, base_seed+1, ...
 /// The topology rotates through ring, star, random connected graph, line,
-/// the degenerate 2-processor network, 2D mesh, torus, and fat tree (the
-/// structured shapes draw small random dimensions per seed), so any sweep
-/// of >= 8 scenarios covers every shape; cycle times, link costs and the
-/// DAG stay random per seed.  Every scenario carries its RoutingTable.
+/// the degenerate 2-processor network, 2D mesh, torus, fat tree, a
+/// heterogeneous-cost mesh (seeded ':het' jitter, sometimes ':hot'
+/// hotspots, under a per-seed routing policy), and a non-default-policy
+/// network (':alt' / ':swp'); the structured shapes draw small random
+/// dimensions per seed, so any sweep of >= 10 scenarios covers every
+/// shape; cycle times, link costs and the DAG stay random per seed.
+/// Every scenario carries its RoutingTable.
 [[nodiscard]] std::vector<Scenario> routed_scenario_sweep(
     std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
 

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in markdown files (the CI docs job).
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link [text](target) whose target is a
+repo-relative or file path (external schemes -- http/https/mailto -- and
+pure #anchors are skipped).  A path target must exist relative to the
+linking file's directory (or the repo root as a fallback); a trailing
+#anchor is stripped before the check.  Exit code 1 lists every dead link
+as file:line: target.
+"""
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+# [text](target) with no nested parens in the target.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, ...
+# Repo root derived from this script's location (tools/..), so the
+# repo-root fallback for link targets works from any working directory.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def check_file(path: str) -> list[str]:
+    errors = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as handle:
+        in_code_fence = False
+        for lineno, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_fence = not in_code_fence
+                continue
+            if in_code_fence:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if EXTERNAL.match(target) or target.startswith("#"):
+                    continue
+                # Badge/workflow URLs written relative to the GitHub UI
+                # ("../../actions/...") resolve outside the checkout.
+                if target.startswith("../../actions/"):
+                    continue
+                plain = target.split("#", 1)[0]
+                if not plain:
+                    continue
+                candidates = [os.path.normpath(os.path.join(base, plain)),
+                              os.path.normpath(os.path.join(REPO_ROOT,
+                                                            plain))]
+                if not any(os.path.exists(c) for c in candidates):
+                    errors.append(f"{path}:{lineno}: dead link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error)
+    if all_errors:
+        print(f"{len(all_errors)} dead intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(argv) - 1} file(s), no dead intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
