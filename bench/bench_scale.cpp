@@ -11,13 +11,22 @@
 //     too (ISSUE-3);
 //   * the figure-grid sweep driver run serially vs with the thread pool
 //     -- including a routed grid -- so the parallel experiment runner is
-//     tracked end to end.
+//     tracked end to end;
+//   * the online rescheduler (src/dynamic) replaying named fault traces
+//     over the scale graphs, per timeline implementation, so the
+//     prefix-freeze + suffix-rebuild loop has its own trajectory;
+//   * the timelines under an adversarial middle-insert workload, with the
+//     gap timeline's deferred-compaction cost pinned by OP_ASSERT to its
+//     documented O(n * sqrt(n)) total -- a regression to quadratic
+//     middle-inserts aborts the bench instead of just slowing it.
 //
 // Schedule makespans are exported as counters: the two timeline
 // implementations must agree bit-identically (the property sweep enforces
 // it; the counters make a violation visible from bench output too).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,10 +35,14 @@
 #include "analysis/experiment.hpp"
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
+#include "core/registry.hpp"
+#include "dynamic/events.hpp"
+#include "dynamic/reschedule.hpp"
 #include "platform/platform.hpp"
 #include "platform/routing.hpp"
 #include "sched/timeline.hpp"
 #include "testbeds/testbeds.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -182,6 +195,135 @@ void register_routed_benchmarks() {
   }
 }
 
+void register_reschedule_benchmarks() {
+  // Online rescheduling (the dynamic-events tentpole): replay a named
+  // platform-fault trace over the scale graphs through dyn::run_dynamic.
+  // Each event freezes the committed prefix and rebuilds the suffix, so
+  // the timing covers trace derivation's consumers end to end: prefix
+  // seeding into pre-reserved timelines, the heuristic re-run against the
+  // mutated platform, and epoch composition.  Registered per timeline
+  // implementation because the rebuild path leans on next_fit/reserve far
+  // harder than a static run (every epoch re-seeds the whole frozen
+  // prefix) -- exactly the workload the deferred-compaction buffer
+  // exists for.
+  for (const int n : {1000, 5000}) {
+    for (const char* trace_name : {"mixed", "dropout"}) {
+      for (const TimelineImpl impl :
+           {TimelineImpl::kGapIndexed, TimelineImpl::kReference}) {
+        const std::string name = "reschedule/n=" + std::to_string(n) +
+                                 "/heft-oneport/" + trace_name + "/" +
+                                 timeline_impl_name(impl);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [n, trace_name, impl](benchmark::State& state) {
+              const TaskGraph& graph = scale_graph(n);
+              const Platform& platform = paper_platform();
+              ScopedTimelineImpl guard(impl);
+              const SchedulerConfig config;
+              const SchedulerEntry entry =
+                  find_scheduler("heft-oneport", config);
+              // The trace derives from the static schedule's makespan;
+              // both impls produce bit-identical schedules (property
+              // sweep), so the trace is impl-independent.
+              const Schedule initial = entry.run(graph, platform);
+              const dyn::EventTrace trace = dyn::make_named_trace(
+                  trace_name, graph, platform, initial,
+                  /*seed=*/20260729u + static_cast<std::uint64_t>(n));
+              dyn::DynamicOptions options;
+              options.model = CommModel::kOnePort;
+              double makespan = 0.0;
+              double epochs = 0.0;
+              for (auto _ : state) {
+                const dyn::DynamicResult result = dyn::run_dynamic(
+                    graph, platform, "heft-oneport", config, trace, options);
+                makespan = result.schedule.makespan();
+                epochs = static_cast<double>(result.epochs.size());
+                benchmark::DoNotOptimize(makespan);
+              }
+              state.counters["makespan"] = makespan;
+              state.counters["epochs"] = epochs;
+              state.counters["tasks_per_s"] = benchmark::Counter(
+                  static_cast<double>(graph.num_tasks()),
+                  benchmark::Counter::kIsIterationInvariantRate);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void register_timeline_benchmarks() {
+  // Adversarial middle-insert workload (the deferred-compaction bugfix):
+  // lay down n well-separated blocks, then reserve a sliver inside every
+  // interior gap in a deterministic scattered order.  Appends never hit
+  // the buffer, so this is pure middle-insert traffic.  The OP_ASSERT
+  // pins the gap timeline's total shifted/merged elements at the
+  // documented 8 * n * sqrt(n) -- if compaction regresses to an O(n)
+  // vector insert per reservation the total goes quadratic (~n^2/2
+  // already at n=4096) and the bench aborts rather than just reading
+  // slower.  The reference timeline runs the same workload for the
+  // speedup trajectory.
+  for (const int n : {4096, 16384}) {
+    for (const TimelineImpl impl :
+         {TimelineImpl::kGapIndexed, TimelineImpl::kReference}) {
+      const std::string name = "timeline/middle-insert/n=" +
+                               std::to_string(n) + "/" +
+                               timeline_impl_name(impl);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [n, impl](benchmark::State& state) {
+            const auto blocks = static_cast<std::size_t>(n);
+            std::size_t moved = 0;
+            for (auto _ : state) {
+              if (impl == TimelineImpl::kGapIndexed) {
+                GapTimeline t;
+                for (std::size_t i = 0; i < blocks; ++i) {
+                  const double base = 4.0 * static_cast<double>(i);
+                  t.reserve(base, base + 1.0);
+                }
+                // Scattered order via a coprime stride so consecutive
+                // inserts land in distant gaps and the cursor never saves
+                // the day.
+                for (std::size_t k = 0; k < blocks - 1; ++k) {
+                  const std::size_t i = (k * 2654435761u) % (blocks - 1);
+                  const double base = 4.0 * static_cast<double>(i);
+                  t.reserve(base + 2.0, base + 2.5);
+                }
+                moved = t.stats().moved_elements;
+                benchmark::DoNotOptimize(moved);
+              } else {
+                Timeline t;
+                for (std::size_t i = 0; i < blocks; ++i) {
+                  const double base = 4.0 * static_cast<double>(i);
+                  t.reserve(base, base + 1.0);
+                }
+                for (std::size_t k = 0; k < blocks - 1; ++k) {
+                  const std::size_t i = (k * 2654435761u) % (blocks - 1);
+                  const double base = 4.0 * static_cast<double>(i);
+                  t.reserve(base + 2.0, base + 2.5);
+                }
+                benchmark::DoNotOptimize(t.busy_time());
+              }
+            }
+            if (impl == TimelineImpl::kGapIndexed) {
+              const double bound =
+                  8.0 * static_cast<double>(blocks) *
+                  std::sqrt(static_cast<double>(blocks));
+              OP_ASSERT(static_cast<double>(moved) <= bound,
+                        "gap timeline middle-insert compaction went "
+                        "quadratic: moved " +
+                            std::to_string(moved) + " elements, bound " +
+                            std::to_string(bound));
+              state.counters["moved_elements"] = static_cast<double>(moved);
+            }
+            state.counters["reservations"] =
+                static_cast<double>(2 * blocks - 1);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
 void register_sweep_benchmarks() {
   // A modest figure grid: 2 testbeds x 3 sizes x 2 schedulers = 12
   // points, the shape the figure benches sweep.
@@ -235,6 +377,8 @@ void register_sweep_benchmarks() {
 int main(int argc, char** argv) {
   register_scheduler_benchmarks();
   register_routed_benchmarks();
+  register_reschedule_benchmarks();
+  register_timeline_benchmarks();
   register_sweep_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

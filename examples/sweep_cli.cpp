@@ -8,6 +8,7 @@
 //   sweep_cli [--testbeds=LU,STENCIL] [--sizes=100,200,300]
 //             [--schedulers=heft-oneport,ilha-oneport]
 //             [--topologies=full,ring,star,line,random,mesh3x3,torus3x3,fattree2x2]
+//             [--events=none,slowdown,dropout,mixed,arrival]
 //             [--comm-ratio=10] [--chunk=38] [--workers=0]
 //             [--topology-seed=1] [--no-validate]
 //             [--csv=out.csv] [--json=out.json] [--quiet]
@@ -17,7 +18,11 @@
 // ring/star/line/random-connected/mesh/torus/fat-tree network and
 // schedule store-and-forward chains along its routed paths (structured
 // names fix the processor count and recycle the paper platform's cycle
-// times).  Structured names take ':' suffixes making link heterogeneity
+// times).  The --events axis replays each point through the online
+// rescheduler (src/dynamic) under a named platform-fault trace --
+// processor slowdowns, drop-outs, late task arrivals -- derived from the
+// static schedule's makespan; "none" keeps the point static.
+// Structured names take ':' suffixes making link heterogeneity
 // and routing policy sweep axes -- e.g. mesh4x4:het0.5:swp = seeded
 // +/-50% link jitter routed by cost-aware shortest-weighted-path; see
 // docs/TOPOLOGIES.md for the full grammar.  Topology names are
@@ -25,6 +30,7 @@
 // hard error listing the known names, not a point failure deep inside
 // the grid.  Every grid point is validated under the model implied by
 // the scheduler name unless --no-validate is given.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "dynamic/events.hpp"
 #include "platform/platform.hpp"
 #include "platform/routing.hpp"
 #include "util/args.hpp"
@@ -84,9 +91,10 @@ void write_json(std::ostream& os,
      << "  },\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const analysis::SweepResult& r = results[i];
-    const std::string name = r.point.topology + "/" + r.point.testbed +
-                             "/n=" + std::to_string(r.point.size) + "/" +
-                             r.point.scheduler;
+    std::string name = r.point.topology + "/" + r.point.testbed +
+                       "/n=" + std::to_string(r.point.size) + "/" +
+                       r.point.scheduler;
+    if (r.point.events != "none") name += "/events=" + r.point.events;
     os << "    {\n"
        << "      \"name\": \"" << json_escape(name) << "\",\n"
        << "      \"run_type\": \"sweep\",\n"
@@ -108,9 +116,17 @@ int run(int argc, char** argv) {
            "                 [--topologies=full,ring,star,line,random,\n"
            "                               mesh<R>x<C>,torus<R>x<C>,"
            "fattree<L>x<A>]\n"
+           "                 [--events=none,slowdown,dropout,mixed,"
+           "arrival]\n"
            "                 [--comm-ratio=10] [--chunk=38] [--workers=0]\n"
            "                 [--topology-seed=1] [--no-validate]\n"
            "                 [--csv=out.csv] [--json=out.json] [--quiet]\n"
+           "\n"
+           "--events replays each grid point through the online\n"
+           "rescheduler (src/dynamic) under the named platform-fault\n"
+           "trace: processor slowdowns, drop-outs, and late task\n"
+           "arrivals derived from the static schedule's makespan\n"
+           "('none' keeps the point static).\n"
            "\n"
            "Structured topology names take ':' suffixes for per-link\n"
            "heterogeneity and the routing policy axis (defaults: xy on\n"
@@ -132,14 +148,23 @@ int run(int argc, char** argv) {
       split_list(args.get("schedulers", "heft-oneport,ilha-oneport"));
   const std::vector<std::string> topologies =
       split_list(args.get("topologies", "full"));
+  const std::vector<std::string> events =
+      split_list(args.get("events", "none"));
   const double comm_ratio = args.get_double("comm-ratio", 10.0);
   const int chunk = args.get_int("chunk", 38);
   const int workers = args.get_int("workers", 0);
   const auto topology_seed =
       static_cast<std::uint64_t>(args.get_int("topology-seed", 1));
   ensure(!testbeds.empty() && !sizes.empty() && !schedulers.empty() &&
-             !topologies.empty(),
+             !topologies.empty() && !events.empty(),
          "every grid axis needs at least one entry");
+  // Same fail-fast rule for event-trace names as for topologies.
+  for (const std::string& trace : events) {
+    const std::vector<std::string>& known = dyn::known_event_trace_names();
+    ensure(std::find(known.begin(), known.end(), trace) != known.end(),
+           "unknown event trace '" + trace +
+               "' (try none, slowdown, dropout, mixed, arrival)");
+  }
   // Reject unknown topology names before any scheduling happens: a typo
   // must be a hard error listing the registry, not a late point failure
   // (or, worse, a silently skipped axis).  "full" is the no-routing
@@ -149,7 +174,7 @@ int run(int argc, char** argv) {
   }
 
   std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
-      testbeds, sizes, schedulers, comm_ratio, chunk, topologies);
+      testbeds, sizes, schedulers, comm_ratio, chunk, topologies, events);
   for (analysis::SweepPoint& point : grid) point.topology_seed = topology_seed;
 
   const Platform platform = make_paper_platform();

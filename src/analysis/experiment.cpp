@@ -11,6 +11,8 @@
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
 #include "core/registry.hpp"
+#include "dynamic/events.hpp"
+#include "dynamic/reschedule.hpp"
 #include "platform/routing.hpp"
 #include "sched/validate.hpp"
 #include "testbeds/registry.hpp"
@@ -111,17 +113,21 @@ std::vector<SweepPoint> make_sweep_grid(
     const std::vector<std::string>& testbed_names,
     const std::vector<int>& sizes,
     const std::vector<std::string>& scheduler_names, double comm_ratio,
-    int chunk_size, const std::vector<std::string>& topologies) {
+    int chunk_size, const std::vector<std::string>& topologies,
+    const std::vector<std::string>& events) {
   std::vector<SweepPoint> grid;
   grid.reserve(topologies.size() * testbed_names.size() * sizes.size() *
-               scheduler_names.size());
+               scheduler_names.size() * events.size());
   for (const std::string& topology : topologies) {
     for (const std::string& testbed : testbed_names) {
       for (const int n : sizes) {
         for (const std::string& scheduler : scheduler_names) {
-          SweepPoint point{testbed, n, scheduler, comm_ratio, chunk_size};
-          point.topology = topology;
-          grid.push_back(std::move(point));
+          for (const std::string& trace : events) {
+            SweepPoint point{testbed, n, scheduler, comm_ratio, chunk_size};
+            point.topology = topology;
+            point.events = trace;
+            grid.push_back(std::move(point));
+          }
         }
       }
     }
@@ -153,13 +159,30 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
                                         /*link=*/1.0, point.topology_seed);
     }
     const Platform& target = routed ? sparse->platform : platform;
-    const SchedulerEntry scheduler = find_scheduler(
-        point.scheduler,
-        SchedulerConfig{.ilha_chunk_size = point.chunk_size,
-                        .routing = routed ? &sparse->routing : nullptr});
-    const Schedule schedule = scheduler.run(graph, target);
+    const SchedulerConfig config{
+        .ilha_chunk_size = point.chunk_size,
+        .routing = routed ? &sparse->routing : nullptr};
+    const SchedulerEntry scheduler = find_scheduler(point.scheduler, config);
+    Schedule schedule = scheduler.run(graph, target);
 
-    if (options.validate) {
+    if (point.events != "none") {
+      // Dynamic point: derive the named fault trace from the static
+      // schedule's makespan and replay the run through the online
+      // rescheduler.  The static validators cannot judge the composite
+      // (durations follow epoch-dependent cycle times, superseded
+      // messages hold ports without delivering), so correctness rests on
+      // run_dynamic's internal invariants -- the timelines themselves
+      // reject any conflicting reservation.
+      const dyn::EventTrace trace = dyn::make_named_trace(
+          point.events, graph, target, schedule, point.topology_seed);
+      dyn::DynamicOptions dyn_options;
+      dyn_options.model = is_one_port(point.scheduler)
+                              ? CommModel::kOnePort
+                              : CommModel::kMacroDataflow;
+      schedule = dyn::run_dynamic(graph, target, point.scheduler, config,
+                                  trace, dyn_options)
+                     .schedule;
+    } else if (options.validate) {
       const ValidationResult result =
           is_one_port(point.scheduler)
               ? validate_one_port(schedule, graph, target)
@@ -207,12 +230,12 @@ std::shared_ptr<const RoutedPlatform> shared_topology_platform(
 }
 
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {
-  csv::Table table({"topology", "testbed", "n", "scheduler", "tasks",
-                    "ratio", "makespan", "msgs"});
+  csv::Table table({"topology", "testbed", "n", "scheduler", "events",
+                    "tasks", "ratio", "makespan", "msgs"});
   for (const SweepResult& r : rows) {
     table.add_row({r.point.topology, r.point.testbed,
                    std::to_string(r.point.size), r.point.scheduler,
-                   std::to_string(r.num_tasks),
+                   r.point.events, std::to_string(r.num_tasks),
                    csv::format_number(r.speedup),
                    csv::format_number(r.makespan, 0),
                    std::to_string(r.num_comms)});

@@ -82,6 +82,12 @@ struct SweepPoint {
   /// Seed for the "random" topology and the seeded ':het'/':hot' link
   /// cost generators.
   std::uint64_t topology_seed = 1;
+  /// Platform-event trace preset (src/dynamic/events.hpp names: "none",
+  /// "slowdown", "dropout", "mixed", "arrival").  "none" runs the static
+  /// scheduler; any other name derives a fault trace from the static
+  /// schedule's makespan and replays the point through dyn::run_dynamic,
+  /// reporting the dynamic composite's metrics.
+  std::string events = "none";
 };
 
 struct SweepResult {
@@ -101,16 +107,23 @@ struct SweepOptions {
 };
 
 /// Builds the full cross product topologies x testbeds x sizes x
-/// schedulers (topology outermost; defaults to fully connected only).
+/// schedulers x event traces (topology outermost, events innermost;
+/// defaults to fully connected, static-only).
 [[nodiscard]] std::vector<SweepPoint> make_sweep_grid(
     const std::vector<std::string>& testbed_names,
     const std::vector<int>& sizes,
     const std::vector<std::string>& scheduler_names,
     double comm_ratio = 10.0, int chunk_size = 38,
-    const std::vector<std::string>& topologies = {"full"});
+    const std::vector<std::string>& topologies = {"full"},
+    const std::vector<std::string>& events = {"none"});
 
 /// Runs every grid point (in parallel per SweepOptions::workers) and
-/// returns results in grid order.
+/// returns results in grid order.  Static points are validated per
+/// SweepOptions::validate; dynamic points (events != "none") are checked
+/// by the rescheduler's own internal invariants instead -- the static
+/// validators cannot judge a composite whose durations follow
+/// epoch-dependent cycle times (the D1-D5 battery in tests/support
+/// covers those properties).
 [[nodiscard]] std::vector<SweepResult> run_sweep(
     const std::vector<SweepPoint>& grid, const Platform& platform,
     const SweepOptions& options = {});

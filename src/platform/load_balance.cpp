@@ -2,13 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "util/error.hpp"
 
 namespace oneport {
+namespace {
+
+/// Minimum finish-time improvement for a rebalance move to count: keeps
+/// the greedy loop from ping-ponging on floating-point noise.
+constexpr double kSkewEps = 1e-9;
+
+/// Shared degenerate-platform guard: Platform's own constructor enforces
+/// these, but the balance algorithms divide by cycle times and index by
+/// processor count, so they re-check rather than trust the caller with a
+/// possibly moved-from or future relaxed Platform.
+void require_usable_platform(const Platform& platform) {
+  OP_REQUIRE(platform.num_processors() > 0,
+             "load balancing needs at least one processor");
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    OP_REQUIRE(platform.cycle_time(p) > 0.0,
+               "load balancing needs positive cycle times, processor "
+                   << p << " has " << platform.cycle_time(p));
+  }
+}
+
+}  // namespace
 
 std::vector<double> balanced_fractions(const Platform& platform) {
+  require_usable_platform(platform);
   const double speed = platform.aggregate_speed();
   std::vector<double> c(static_cast<std::size_t>(platform.num_processors()));
   for (ProcId p = 0; p < platform.num_processors(); ++p) {
@@ -18,7 +42,8 @@ std::vector<double> balanced_fractions(const Platform& platform) {
 }
 
 std::vector<int> optimal_distribution(const Platform& platform, int n) {
-  OP_REQUIRE(n >= 0, "task count must be non-negative");
+  OP_REQUIRE(n >= 1, "task count must be positive, got " << n);
+  require_usable_platform(platform);
   const int p = platform.num_processors();
   const std::vector<double> frac = balanced_fractions(platform);
   std::vector<int> counts(static_cast<std::size_t>(p), 0);
@@ -52,13 +77,17 @@ std::vector<int> optimal_distribution(const Platform& platform, int n) {
 
 double distribution_makespan(const Platform& platform,
                              const std::vector<int>& counts) {
+  require_usable_platform(platform);
   OP_REQUIRE(counts.size() ==
                  static_cast<std::size_t>(platform.num_processors()),
-             "counts arity mismatch");
+             "counts arity mismatch: " << counts.size() << " counts for "
+                                       << platform.num_processors()
+                                       << " processors");
   double makespan = 0.0;
   for (ProcId p = 0; p < platform.num_processors(); ++p) {
-    makespan = std::max(makespan, platform.cycle_time(p) *
-                                      counts[static_cast<std::size_t>(p)]);
+    const int c = counts[static_cast<std::size_t>(p)];
+    OP_REQUIRE(c >= 0, "negative task count " << c << " for processor " << p);
+    makespan = std::max(makespan, platform.cycle_time(p) * c);
   }
   return makespan;
 }
@@ -72,23 +101,178 @@ std::int64_t to_integer_cycle_time(double t) {
   return static_cast<std::int64_t>(rounded);
 }
 
+// 128-bit helpers for the exact-rational chunk computation.  GCC/Clang
+// guarantee unsigned __int128 on the targets this repo builds for; the
+// overflow checks below make the arithmetic *checked*, not just wider.
+__extension__ typedef unsigned __int128 u128;
+
+u128 gcd_u128(u128 a, u128 b) {
+  while (b != 0) {
+    const u128 r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+/// a * b, throwing std::overflow_error when the product leaves 128 bits.
+u128 checked_mul_u128(u128 a, u128 b) {
+  if (a == 0 || b == 0) return 0;
+  const u128 product = a * b;
+  if (product / a != b) {
+    throw std::overflow_error(
+        "perfect_balance_chunk: cycle-time LCM exceeds 128-bit range");
+  }
+  return product;
+}
+
 }  // namespace
 
 std::int64_t perfect_balance_chunk(const Platform& platform) {
-  std::int64_t l = 1;
+  require_usable_platform(platform);
+  // lcm over the integer cycle times, carried in checked 128-bit
+  // arithmetic: coprime-ish sets grow the LCM multiplicatively, and the
+  // old int64 std::lcm loop wrapped silently long before the *chunk*
+  // (which divides the LCM back down) stopped being representable.
+  u128 l = 1;
   for (ProcId p = 0; p < platform.num_processors(); ++p) {
-    l = std::lcm(l, to_integer_cycle_time(platform.cycle_time(p)));
+    const u128 t =
+        static_cast<u128>(to_integer_cycle_time(platform.cycle_time(p)));
+    l = checked_mul_u128(l / gcd_u128(l, t), t);
   }
-  std::int64_t chunk = 0;
+  // chunk = sum_i l / t_i, each term exact by construction of l.
+  u128 chunk = 0;
   for (ProcId p = 0; p < platform.num_processors(); ++p) {
-    chunk += l / to_integer_cycle_time(platform.cycle_time(p));
+    const u128 t =
+        static_cast<u128>(to_integer_cycle_time(platform.cycle_time(p)));
+    const u128 term = l / t;
+    const u128 next = chunk + term;
+    if (next < chunk) {
+      throw std::overflow_error(
+          "perfect_balance_chunk: chunk sum exceeds 128-bit range");
+    }
+    chunk = next;
   }
-  return chunk;
+  if (chunk > static_cast<u128>(std::numeric_limits<std::int64_t>::max())) {
+    throw std::overflow_error(
+        "perfect_balance_chunk: chunk does not fit in int64 for this "
+        "cycle-time set");
+  }
+  return static_cast<std::int64_t>(chunk);
 }
 
 double speedup_upper_bound(const Platform& platform) {
   return platform.cycle_time(platform.fastest_processor()) *
          platform.aggregate_speed();
+}
+
+double fractional_load_imbalance(const Platform& platform,
+                                 const std::vector<double>& loads) {
+  require_usable_platform(platform);
+  OP_REQUIRE(loads.size() ==
+                 static_cast<std::size_t>(platform.num_processors()),
+             "loads arity mismatch: " << loads.size() << " loads for "
+                                      << platform.num_processors()
+                                      << " processors");
+  double total = 0.0;
+  double worst = 0.0;
+  for (ProcId p = 0; p < platform.num_processors(); ++p) {
+    const double load = loads[static_cast<std::size_t>(p)];
+    OP_REQUIRE(load >= 0.0,
+               "negative load " << load << " for processor " << p);
+    total += load;
+    worst = std::max(worst, load * platform.cycle_time(p));
+  }
+  if (total <= 0.0) return 0.0;
+  const double ideal = total / platform.aggregate_speed();
+  return worst / ideal - 1.0;
+}
+
+RebalanceStats rebalance_assignment(const Platform& platform,
+                                    const std::vector<double>& weights,
+                                    std::vector<ProcId>& assignment,
+                                    int max_moves) {
+  require_usable_platform(platform);
+  OP_REQUIRE(weights.size() == assignment.size(),
+             "weights/assignment arity mismatch: " << weights.size() << " vs "
+                                                   << assignment.size());
+  const int p = platform.num_processors();
+  std::vector<double> loads(static_cast<std::size_t>(p), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    OP_REQUIRE(weights[i] >= 0.0,
+               "negative weight " << weights[i] << " for item " << i);
+    OP_REQUIRE(assignment[i] >= 0 && assignment[i] < p,
+               "item " << i << " assigned to invalid processor "
+                       << assignment[i]);
+    loads[static_cast<std::size_t>(assignment[i])] += weights[i];
+  }
+
+  RebalanceStats stats;
+  stats.imbalance_before = fractional_load_imbalance(platform, loads);
+
+  const auto finish = [&](ProcId q) {
+    return loads[static_cast<std::size_t>(q)] * platform.cycle_time(q);
+  };
+  // nfos-style loop: keep pulling work off the worst-finishing processor
+  // while some single-item move strictly lowers the global worst finish.
+  while (stats.moves < max_moves) {
+    ProcId worst_proc = 0;
+    for (ProcId q = 1; q < p; ++q) {
+      if (finish(q) > finish(worst_proc)) worst_proc = q;
+    }
+    const double current_peak = finish(worst_proc);
+
+    // Finish times of everyone *except* the donor bound the post-move
+    // peak from below; precompute the max once per round.
+    double others_peak = 0.0;
+    for (ProcId q = 0; q < p; ++q) {
+      if (q != worst_proc) others_peak = std::max(others_peak, finish(q));
+    }
+
+    std::size_t best_item = weights.size();
+    ProcId best_target = -1;
+    double best_peak = current_peak;
+    // Secondary criterion: the worse of the two touched finish times.
+    // When several processors tie at the peak, no single move can lower
+    // the *global* peak, but a move whose donor and taker both land
+    // strictly below it shrinks the set of peak processors -- the sorted
+    // finish vector decreases lexicographically, so the loop still
+    // terminates and later rounds drain the remaining peak processors.
+    double best_local = current_peak;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (assignment[i] != worst_proc || weights[i] <= 0.0) continue;
+      const double donor_after =
+          (loads[static_cast<std::size_t>(worst_proc)] - weights[i]) *
+          platform.cycle_time(worst_proc);
+      for (ProcId q = 0; q < p; ++q) {
+        if (q == worst_proc) continue;
+        const double taker_after =
+            (loads[static_cast<std::size_t>(q)] + weights[i]) *
+            platform.cycle_time(q);
+        // others_peak includes the taker's *old* finish, but taker_after
+        // dominates it (the taker only grew), so this max is exactly the
+        // post-move peak without a per-candidate rescan.
+        const double peak =
+            std::max({donor_after, taker_after, others_peak});
+        const double local = std::max(donor_after, taker_after);
+        if (peak < best_peak - kSkewEps ||
+            (peak < best_peak + kSkewEps && local < best_local - kSkewEps)) {
+          best_peak = peak;
+          best_local = local;
+          best_item = i;
+          best_target = q;
+        }
+      }
+    }
+    if (best_item == weights.size()) break;  // skew stopped shrinking
+    loads[static_cast<std::size_t>(worst_proc)] -= weights[best_item];
+    loads[static_cast<std::size_t>(best_target)] += weights[best_item];
+    assignment[best_item] = best_target;
+    ++stats.moves;
+  }
+
+  stats.imbalance_after = fractional_load_imbalance(platform, loads);
+  return stats;
 }
 
 }  // namespace oneport

@@ -11,6 +11,12 @@
 // processor whose finish time after the extra task is smallest.  The
 // result minimizes max_i t_i * n_i over all integer distributions summing
 // to n (for equal-size tasks).
+//
+// For *running* workloads the same ideal doubles as a quality metric:
+// fractional_load_imbalance measures how far a concrete per-processor load
+// vector sits above the balanced finish time, and rebalance_assignment
+// greedily moves work off the most-skewed processor until the skew stops
+// shrinking.
 #pragma once
 
 #include <cstdint>
@@ -25,11 +31,16 @@ namespace oneport {
 
 /// The paper's optimal integer distribution of `n` equal-size tasks.
 /// Returns per-processor task counts summing to n; minimizes the parallel
-/// finish time max_i t_i * count_i.
+/// finish time max_i t_i * count_i.  Throws std::invalid_argument when
+/// n < 1 or the platform is degenerate (no processors, non-positive cycle
+/// times -- unreachable through Platform's own invariants, but guarded so
+/// the algorithm never divides by garbage).
 [[nodiscard]] std::vector<int> optimal_distribution(const Platform& platform,
                                                     int n);
 
-/// Parallel finish time of a distribution: max_i t_i * count_i.
+/// Parallel finish time of a distribution: max_i t_i * count_i.  Throws
+/// std::invalid_argument on arity mismatch, negative counts, or a
+/// degenerate platform.
 [[nodiscard]] double distribution_makespan(const Platform& platform,
                                            const std::vector<int>& counts);
 
@@ -37,13 +48,55 @@ namespace oneport {
 /// busy for exactly the same time):
 ///     M = lcm(t_1..t_p) * sum_i 1/t_i.
 /// Only defined for platforms whose cycle times are (near-)integers; throws
-/// std::invalid_argument otherwise.  For the paper's platform this is
-/// B = 38 (5 procs x 5 tasks + 3 x 3 + 2 x 2, all busy 30 time units).
+/// std::invalid_argument otherwise.  The accumulation runs in 128-bit
+/// integers over exact rationals; if the LCM or the chunk exceeds the
+/// representable range (coprime-ish cycle-time sets blow the LCM up
+/// multiplicatively), throws std::overflow_error instead of wrapping.
+/// For the paper's platform this is B = 38 (5 procs x 5 tasks + 3 x 3 +
+/// 2 x 2, all busy 30 time units).
 [[nodiscard]] std::int64_t perfect_balance_chunk(const Platform& platform);
 
 /// Upper bound on the achievable speedup over the fastest processor,
 /// ignoring communications and dependences (the paper's 7.6 for its
 /// platform): (min_i t_i) * sum_j 1/t_j.
 [[nodiscard]] double speedup_upper_bound(const Platform& platform);
+
+/// Fractional load imbalance of a per-processor load vector (work units):
+///     phi = max_i(load_i * t_i) / (sum_i load_i / aggregate_speed) - 1,
+/// the relative excess of the worst finish time over the perfectly
+/// balanced finish time of the same total work (the `balanced_fractions`
+/// ideal).  phi = 0 means every processor finishes exactly at the ideal;
+/// phi = 1 means the slowest-finishing processor takes twice the ideal.
+/// A zero total load is perfectly balanced by convention (returns 0).
+/// Throws std::invalid_argument on arity mismatch or negative loads.
+[[nodiscard]] double fractional_load_imbalance(const Platform& platform,
+                                              const std::vector<double>& loads);
+
+/// Outcome of one rebalance_assignment run.
+struct RebalanceStats {
+  int moves = 0;               ///< accepted item moves
+  double imbalance_before = 0; ///< fractional_load_imbalance at entry
+  double imbalance_after = 0;  ///< fractional_load_imbalance at exit
+};
+
+/// Iterative skew-reduction rebalancer over an item -> processor
+/// assignment (weights[i] is item i's work).  Each round finds the
+/// processor with the worst finish time load * t and tries to move one of
+/// its items to another processor; the move that lowers the global worst
+/// finish time the most is applied (ties: smaller item id, then smaller
+/// target processor).  When several processors tie at the peak so no
+/// single move can lower it, a move that steps the donor off the peak
+/// while keeping the taker strictly below it is accepted instead -- it
+/// shrinks the set of peak processors, so iteration keeps making
+/// progress and still terminates.  Rounds repeat until no move improves,
+/// so fractional_load_imbalance never increases and strictly decreases
+/// whenever the peak drops.  Mutates `assignment` in place and reports
+/// the moves and before/after imbalance.
+/// Throws std::invalid_argument on arity mismatch, negative weights, or
+/// out-of-range processor ids.
+RebalanceStats rebalance_assignment(const Platform& platform,
+                                    const std::vector<double>& weights,
+                                    std::vector<ProcId>& assignment,
+                                    int max_moves = 1 << 20);
 
 }  // namespace oneport

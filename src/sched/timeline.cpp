@@ -125,25 +125,69 @@ std::size_t GapTimeline::gap_ending_after(double t) const {
   return hint_;
 }
 
+namespace {
+
+/// A gap-splitting reservation this far from the back of the gap list is
+/// buffered instead of middle-inserted; near-back inserts are short
+/// memmoves and stay direct so the append-heavy list-scheduling path
+/// never touches the buffer.
+constexpr std::size_t kDeferTail = 32;
+/// Minimum buffered count before a compaction is even considered: tiny
+/// timelines gain nothing from deferral bookkeeping.
+constexpr std::size_t kMinFlush = 16;
+
+}  // namespace
+
 double GapTimeline::next_fit(double ready, double duration) const {
   OP_REQUIRE(duration >= 0.0, "duration must be non-negative");
   if (duration <= kTimeEps) return ready;
   if (gaps_.empty()) return ready;
   // O(1) fast path for the dominant list-scheduling pattern: a slot at or
-  // beyond the horizon (within tolerance) always starts at `ready`
-  // inside the +inf sentinel gap.
+  // beyond the horizon (within tolerance) always starts at `ready` inside
+  // the +inf sentinel gap.  Deferred reservations always end strictly
+  // before the horizon (they split interior gaps), so they cannot block
+  // this path.
   if (ready >= gaps_.back().start - kTimeEps) return ready;
-  for (std::size_t i = gap_ending_after(ready); i < gaps_.size(); ++i) {
-    const Interval& g = gaps_[i];
-    // `ready` counts as inside the gap when it is at most kTimeEps before
-    // its start: the reference scan skips busy intervals ending within
-    // kTimeEps after `ready`, so both implementations then return `ready`
-    // itself.  Later gaps always start after ready + kTimeEps.
-    const double start = g.start <= ready + kTimeEps ? ready : g.start;
-    if (start + duration <= g.end + kTimeEps) return start;
+  double candidate = ready;
+  while (true) {
+    // Walk the materialized gaps from the candidate.
+    double fit = candidate;
+    bool found = candidate >= gaps_.back().start - kTimeEps;
+    if (!found) {
+      for (std::size_t i = gap_ending_after(candidate); i < gaps_.size();
+           ++i) {
+        const Interval& g = gaps_[i];
+        // `candidate` counts as inside the gap when it is at most kTimeEps
+        // before its start: the reference scan skips busy intervals ending
+        // within kTimeEps after it, so both implementations then return
+        // the candidate itself.  Later gaps always start after
+        // candidate + kTimeEps.
+        const double start = g.start <= candidate + kTimeEps ? candidate
+                                                             : g.start;
+        if (start + duration <= g.end + kTimeEps) {
+          fit = start;
+          found = true;
+          break;
+        }
+      }
+    }
+    OP_ASSERT(found, "gap list lost its +inf sentinel");
+    candidate = fit;
+    if (pending_.empty()) return candidate;
+    // Absorb deferred reservations the sliding candidate overlaps, then
+    // re-walk the gaps -- the TimelineOverlay fixpoint pattern.  The
+    // buffer is start-sorted and non-overlapping, so one ordered pass
+    // suffices per round and the buffer is at most ~sqrt(gaps) long.
+    bool moved = false;
+    for (const Interval& p : pending_) {
+      if (p.start >= candidate + duration - kTimeEps) break;
+      if (overlaps(p, {candidate, candidate + duration})) {
+        candidate = p.end;
+        moved = true;
+      }
+    }
+    if (!moved) return candidate;
   }
-  OP_ASSERT(false, "gap list lost its +inf sentinel");
-  return ready;
 }
 
 void GapTimeline::reserve(double start, double end) {
@@ -164,14 +208,64 @@ void GapTimeline::reserve(double start, double end) {
                             << (i + 1 < gaps_.size() ? gaps_[i + 1].start
                                                      : kInf)
                             << ")");
+  // ...and must clear the deferred buffer too.  Only the first buffered
+  // interval ending after `start` can overlap: the buffer is start-sorted
+  // and non-overlapping, so if that one clears the slot, every later one
+  // starts at or after the slot's end.
+  if (!pending_.empty()) {
+    const Interval iv{start, end};
+    const auto p = std::partition_point(
+        pending_.begin(), pending_.end(),
+        [start](const Interval& b) { return b.end <= start + kTimeEps; });
+    if (p != pending_.end()) {
+      OP_ASSERT(!overlaps(*p, iv),
+                "reservation [" << start << "," << end
+                                << ") overlaps deferred [" << p->start << ","
+                                << p->end << ")");
+    }
+  }
   // Remnants within kTimeEps of the gap boundary merge into the adjacent
   // busy interval, mirroring the reference's touching-neighbor merge.
   const bool keep_left = start > g.start + kTimeEps;
   const bool keep_right = g.end > end + kTimeEps;
   if (keep_left && keep_right) {
+    const std::size_t tail = gaps_.size() - i;
+    if (tail > kDeferTail) {
+      // Deferred middle-insert: buffer the busy interval instead of
+      // shifting `tail` gaps, merging with touching buffered neighbors
+      // exactly like the reference merges touching busy intervals.
+      const Interval iv{start, end};
+      auto pos = std::partition_point(
+          pending_.begin(), pending_.end(),
+          [&iv](const Interval& b) { return b.start < iv.start; });
+      pos = pending_.insert(pos, iv);
+      stats_.moved_elements +=
+          static_cast<std::size_t>(pending_.end() - pos) - 1;
+      if (pos != pending_.begin()) {
+        auto prev = pos - 1;
+        if (pos->start <= prev->end + kTimeEps) {
+          prev->end = std::max(prev->end, pos->end);
+          pos = pending_.erase(pos) - 1;
+        }
+      }
+      if (pos + 1 != pending_.end()) {
+        auto next = pos + 1;
+        if (next->start <= pos->end + kTimeEps) {
+          pos->end = std::max(pos->end, next->end);
+          pending_.erase(next);
+        }
+      }
+      ++stats_.deferred_inserts;
+      if (pending_.size() >= kMinFlush &&
+          pending_.size() * pending_.size() >= gaps_.size()) {
+        flush_pending();
+      }
+      return;
+    }
     gaps_[i].end = start;
     gaps_.insert(gaps_.begin() + static_cast<std::ptrdiff_t>(i + 1),
                  Interval{end, g.end});
+    stats_.moved_elements += tail;
     hint_ = i + 1;
   } else if (keep_left) {
     gaps_[i].end = start;
@@ -183,6 +277,7 @@ void GapTimeline::reserve(double start, double end) {
     // The reservation bridges the two neighboring busy intervals; the
     // last gap ends at +inf and is therefore never erased.
     gaps_.erase(gaps_.begin() + static_cast<std::ptrdiff_t>(i));
+    stats_.moved_elements += gaps_.size() - i;
     hint_ = i;
   }
 }
@@ -191,7 +286,16 @@ bool GapTimeline::is_free(double start, double end) const {
   if (Interval{start, end}.degenerate()) return true;
   if (gaps_.empty()) return true;
   const Interval& g = gaps_[gap_ending_after(start)];
-  return start >= g.start - kTimeEps && end <= g.end + kTimeEps;
+  if (start < g.start - kTimeEps || end > g.end + kTimeEps) return false;
+  if (pending_.empty()) return true;
+  const Interval iv{start, end};
+  for (auto p = std::partition_point(
+           pending_.begin(), pending_.end(),
+           [start](const Interval& b) { return b.end <= start + kTimeEps; });
+       p != pending_.end() && p->start < end - kTimeEps; ++p) {
+    if (overlaps(*p, iv)) return false;
+  }
+  return true;
 }
 
 double GapTimeline::busy_time() const noexcept {
@@ -199,17 +303,58 @@ double GapTimeline::busy_time() const noexcept {
   for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) {
     total += gaps_[i + 1].start - gaps_[i].end;
   }
+  // Buffered intervals are disjoint from the materialized busy set, so
+  // their durations add independently.
+  for (const Interval& p : pending_) total += p.duration();
   return total;
 }
 
 std::vector<Interval> GapTimeline::busy_intervals() const {
   std::vector<Interval> busy;
-  if (gaps_.size() < 2) return busy;
-  busy.reserve(gaps_.size() - 1);
-  for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) {
-    busy.push_back({gaps_[i].end, gaps_[i + 1].start});
+  if (gaps_.size() < 2 && pending_.empty()) return busy;
+  busy.reserve((gaps_.empty() ? 0 : gaps_.size() - 1) + pending_.size());
+  const auto push = [&busy](const Interval& iv) {
+    if (!busy.empty() && iv.start <= busy.back().end + kTimeEps) {
+      busy.back().end = std::max(busy.back().end, iv.end);
+    } else {
+      busy.push_back(iv);
+    }
+  };
+  // Linear merge of the two start-sorted busy streams (gap complements
+  // and the deferred buffer), merging touching intervals exactly like the
+  // reference's reserve does.
+  std::size_t k = 0;  // busy interval between gaps_[k] and gaps_[k + 1]
+  std::size_t p = 0;
+  while (k + 1 < gaps_.size() || p < pending_.size()) {
+    const bool take_gap =
+        k + 1 < gaps_.size() &&
+        (p >= pending_.size() || gaps_[k].end <= pending_[p].start);
+    if (take_gap) {
+      push({gaps_[k].end, gaps_[k + 1].start});
+      ++k;
+    } else {
+      push(pending_[p]);
+      ++p;
+    }
   }
   return busy;
+}
+
+void GapTimeline::flush_pending() {
+  if (pending_.empty()) return;
+  ++stats_.flushes;
+  stats_.moved_elements += gaps_.size() + pending_.size();
+  const std::vector<Interval> busy = busy_intervals();
+  gaps_.clear();
+  gaps_.reserve(busy.size() + 1);
+  double free_from = -kInf;
+  for (const Interval& iv : busy) {
+    gaps_.push_back({free_from, iv.start});
+    free_from = iv.end;
+  }
+  gaps_.push_back({free_from, kInf});
+  pending_.clear();
+  hint_ = 0;
 }
 
 // -------------------------------------------- implementation selection

@@ -87,6 +87,15 @@ class Timeline {
 /// landed (list scheduling reserves back-to-back slots, so the probe
 /// almost always hits) and only then falling back to binary search.
 ///
+/// Reservations that split a gap far from the back of the list are
+/// *deferred*: instead of an O(n) vector middle-insert per reservation
+/// (which turns the rescheduling workload's repeated prefix-freeze seeding
+/// quadratic), they accumulate in a small sorted side buffer that every
+/// query consults, and are folded into the gap list by a linear-merge
+/// compaction once the buffer reaches ~sqrt(gaps).  That bounds the
+/// amortized middle-insert cost at O(sqrt(n)) while keeping the hot
+/// back-to-back append path exactly as before (the buffer stays empty).
+///
 /// Not thread-safe, not even for const queries: the cursor is updated
 /// from next_fit.  Use one timeline (engine) per thread.
 class GapTimeline {
@@ -95,16 +104,30 @@ class GapTimeline {
   void reserve(double start, double end);
   [[nodiscard]] bool is_free(double start, double end) const;
 
+  // Deferred splits never land in the +inf sentinel gap, so the horizon
+  // is always the last materialized busy end.
   [[nodiscard]] double horizon() const noexcept {
     return gaps_.size() < 2 ? 0.0 : gaps_.back().start;
   }
-  [[nodiscard]] bool empty() const noexcept { return gaps_.size() < 2; }
+  [[nodiscard]] bool empty() const noexcept {
+    return gaps_.size() < 2 && pending_.empty();
+  }
   void clear() noexcept {
     gaps_.clear();
+    pending_.clear();
     hint_ = 0;
   }
   [[nodiscard]] double busy_time() const noexcept;
   [[nodiscard]] std::vector<Interval> busy_intervals() const;
+
+  /// Cost counters for the deferred-compaction machinery, used by the
+  /// scale benchmarks to pin the middle-insert complexity.
+  struct Stats {
+    std::size_t deferred_inserts = 0;  ///< reservations buffered instead
+    std::size_t flushes = 0;           ///< linear-merge compactions run
+    std::size_t moved_elements = 0;    ///< vector elements shifted/merged
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
   /// Index of the first gap whose end is after `t` (the gap in or after
@@ -112,11 +135,18 @@ class GapTimeline {
   /// non-empty gap list.
   [[nodiscard]] std::size_t gap_ending_after(double t) const;
 
+  /// Folds pending_ into gaps_ with one linear merge.
+  void flush_pending();
+
   // Empty means "never reserved" == one gap (-inf, +inf); materialized on
   // the first reserve() so default-constructed timelines stay
   // allocation-free.
   std::vector<Interval> gaps_;
+  // Deferred busy intervals: sorted by start, pairwise non-overlapping,
+  // each strictly inside one gap of gaps_ at the time it was buffered.
+  std::vector<Interval> pending_;
   mutable std::size_t hint_ = 0;  ///< gap index probed before searching
+  Stats stats_;
 };
 
 // -------------------------------------------- implementation selection

@@ -1,0 +1,218 @@
+// Hardened load_balance numerics: regression tests for the silent int64
+// LCM overflow in perfect_balance_chunk (now checked 128-bit
+// arithmetic), the degenerate-input guards on the distribution helpers,
+// and the new imbalance metric + iterative skew-reduction rebalancer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "platform/load_balance.hpp"
+#include "platform/platform.hpp"
+
+namespace oneport {
+namespace {
+
+__extension__ typedef unsigned __int128 u128;
+
+// ------------------------------------ perfect_balance_chunk regressions
+
+// Four coprime cycle times near 1e5: their LCM is the full product,
+// ~1.0006e20 -- far past int64 -- while the chunk (the LCM divided back
+// down by each cycle time) is only ~4e15.  The old std::lcm<int64> loop
+// wrapped silently and returned garbage here; the checked 128-bit path
+// must return the exact value, computed independently below.
+TEST(PerfectBalanceChunk, SurvivesAnLcmPastInt64WhenTheChunkStillFits) {
+  const std::vector<std::int64_t> times = {99991, 100003, 100019, 100043};
+  const Platform p({99991.0, 100003.0, 100019.0, 100043.0}, 1.0);
+
+  u128 lcm = 1;
+  for (const std::int64_t t : times) lcm *= static_cast<u128>(t);
+  ASSERT_GT(lcm, static_cast<u128>(std::numeric_limits<std::int64_t>::max()))
+      << "the regression needs an LCM that overflows int64";
+
+  u128 expected = 0;
+  for (const std::int64_t t : times) expected += lcm / static_cast<u128>(t);
+  ASSERT_LE(expected,
+            static_cast<u128>(std::numeric_limits<std::int64_t>::max()));
+
+  EXPECT_EQ(perfect_balance_chunk(p),
+            static_cast<std::int64_t>(expected));
+}
+
+// Five coprime cycle times push the chunk itself (~5e20) past int64:
+// the old code wrapped silently, the fix must refuse loudly.
+TEST(PerfectBalanceChunk, ThrowsWhenTheChunkOverflowsInt64) {
+  const Platform p({99991.0, 100003.0, 100019.0, 100043.0, 100057.0}, 1.0);
+  EXPECT_THROW((void)perfect_balance_chunk(p), std::overflow_error);
+}
+
+// Eight coprime cycle times overflow even the 128-bit LCM (~1e40): the
+// checked multiply must catch it mid-accumulation.
+TEST(PerfectBalanceChunk, ThrowsWhenEvenTheLcmLeaves128Bits) {
+  const Platform p({99991.0, 100003.0, 100019.0, 100043.0, 100057.0,
+                    100069.0, 100103.0, 100109.0},
+                   1.0);
+  EXPECT_THROW((void)perfect_balance_chunk(p), std::overflow_error);
+}
+
+// The paper's platform keeps its exact answer through the rewrite.
+TEST(PerfectBalanceChunk, PaperPlatformStaysAt38) {
+  EXPECT_EQ(perfect_balance_chunk(make_paper_platform()), 38);
+}
+
+// Non-coprime times exercise the gcd reduction: lcm(6, 10, 15) = 30,
+// chunk = 5 + 3 + 2.
+TEST(PerfectBalanceChunk, GcdReductionKeepsSmallSetsSmall) {
+  EXPECT_EQ(perfect_balance_chunk(Platform({6.0, 10.0, 15.0}, 1.0)), 10);
+}
+
+// --------------------------------------------- degenerate-input guards
+
+TEST(DistributionGuards, RejectsNonPositiveTaskCounts) {
+  const Platform p({1.0, 2.0}, 1.0);
+  EXPECT_THROW((void)optimal_distribution(p, 0), std::invalid_argument);
+  EXPECT_THROW((void)optimal_distribution(p, -5), std::invalid_argument);
+  EXPECT_EQ(optimal_distribution(p, 1), (std::vector<int>{1, 0}));
+}
+
+TEST(DistributionGuards, MakespanRejectsArityMismatchAndNegativeCounts) {
+  const Platform p({1.0, 2.0}, 1.0);
+  EXPECT_THROW((void)distribution_makespan(p, {1}), std::invalid_argument);
+  EXPECT_THROW((void)distribution_makespan(p, {1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)distribution_makespan(p, {1, -1}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(distribution_makespan(p, {0, 0}), 0.0);
+}
+
+// Degenerate *platforms* (no processors, non-positive cycle times) are
+// rejected at construction, so the load_balance guards can only be
+// reached through a valid Platform -- pin that the constructor really is
+// the gate.
+TEST(DistributionGuards, DegeneratePlatformsNeverReachTheAlgorithms) {
+  EXPECT_THROW(Platform({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({0.0, 1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({-2.0}, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------- fractional load imbalance
+
+TEST(LoadImbalance, ZeroForPerfectlyBalancedLoads) {
+  // Finishes 2 and 2; ideal (2+1)/(1 + 1/2) = 2.
+  const Platform p({1.0, 2.0}, 1.0);
+  EXPECT_NEAR(fractional_load_imbalance(p, {2.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(LoadImbalance, MeasuresRelativeExcessOverTheIdeal) {
+  const Platform p({1.0, 2.0}, 1.0);
+  // Everything on the fast processor: worst finish 3, ideal 2.
+  EXPECT_NEAR(fractional_load_imbalance(p, {3.0, 0.0}), 0.5, 1e-12);
+  // Everything on the slow one: worst finish 6, ideal 2.
+  EXPECT_NEAR(fractional_load_imbalance(p, {0.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(LoadImbalance, ZeroTotalLoadIsBalancedByConvention) {
+  const Platform p({1.0, 2.0}, 1.0);
+  EXPECT_DOUBLE_EQ(fractional_load_imbalance(p, {0.0, 0.0}), 0.0);
+}
+
+TEST(LoadImbalance, RejectsArityMismatchAndNegativeLoads) {
+  const Platform p({1.0, 2.0}, 1.0);
+  EXPECT_THROW((void)fractional_load_imbalance(p, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fractional_load_imbalance(p, {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------- skew rebalancing
+
+TEST(Rebalance, SpreadsAFullyStackedAssignment) {
+  const Platform p({1.0, 1.0, 1.0, 1.0}, 1.0);
+  const std::vector<double> weights(8, 1.0);
+  std::vector<ProcId> assignment(8, 0);
+  const RebalanceStats stats = rebalance_assignment(p, weights, assignment);
+  EXPECT_NEAR(stats.imbalance_before, 3.0, 1e-12);
+  EXPECT_NEAR(stats.imbalance_after, 0.0, 1e-12);
+  EXPECT_GE(stats.moves, 6);
+  std::vector<int> per_proc(4, 0);
+  for (const ProcId q : assignment) {
+    ASSERT_GE(q, 0);
+    ASSERT_LT(q, 4);
+    ++per_proc[static_cast<std::size_t>(q)];
+  }
+  EXPECT_EQ(per_proc, (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(Rebalance, NeverIncreasesTheImbalance) {
+  const Platform p({1.0, 2.0, 3.0}, 1.0);
+  // A deterministic pseudo-random-ish pile of weights and placements.
+  std::vector<double> weights;
+  std::vector<ProcId> assignment;
+  for (int i = 0; i < 20; ++i) {
+    weights.push_back(1.0 + (i * 7) % 5);
+    assignment.push_back(static_cast<ProcId>((i * 13) % 3));
+  }
+  const double before = [&] {
+    std::vector<double> loads(3, 0.0);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      loads[static_cast<std::size_t>(assignment[i])] += weights[i];
+    }
+    return fractional_load_imbalance(p, loads);
+  }();
+  const RebalanceStats stats = rebalance_assignment(p, weights, assignment);
+  EXPECT_NEAR(stats.imbalance_before, before, 1e-12);
+  EXPECT_LE(stats.imbalance_after, stats.imbalance_before + 1e-9);
+}
+
+TEST(Rebalance, IsDeterministic) {
+  const Platform p({1.0, 2.0, 4.0}, 1.0);
+  std::vector<double> weights = {5.0, 3.0, 3.0, 2.0, 2.0, 1.0, 1.0};
+  std::vector<ProcId> a(weights.size(), 0);
+  std::vector<ProcId> b(weights.size(), 0);
+  const RebalanceStats sa = rebalance_assignment(p, weights, a);
+  const RebalanceStats sb = rebalance_assignment(p, weights, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sa.moves, sb.moves);
+  EXPECT_DOUBLE_EQ(sa.imbalance_after, sb.imbalance_after);
+}
+
+TEST(Rebalance, LeavesABalancedAssignmentAlone) {
+  const Platform p({1.0, 1.0}, 1.0);
+  const std::vector<double> weights = {2.0, 2.0};
+  std::vector<ProcId> assignment = {0, 1};
+  const RebalanceStats stats = rebalance_assignment(p, weights, assignment);
+  EXPECT_EQ(stats.moves, 0);
+  EXPECT_EQ(assignment, (std::vector<ProcId>{0, 1}));
+  EXPECT_DOUBLE_EQ(stats.imbalance_after, stats.imbalance_before);
+}
+
+TEST(Rebalance, RespectsTheMoveBudget) {
+  const Platform p({1.0, 1.0, 1.0, 1.0}, 1.0);
+  const std::vector<double> weights(8, 1.0);
+  std::vector<ProcId> assignment(8, 0);
+  const RebalanceStats stats =
+      rebalance_assignment(p, weights, assignment, /*max_moves=*/2);
+  EXPECT_EQ(stats.moves, 2);
+  EXPECT_LE(stats.imbalance_after, stats.imbalance_before);
+  EXPECT_GT(stats.imbalance_after, 0.0);
+}
+
+TEST(Rebalance, RejectsMalformedInputs) {
+  const Platform p({1.0, 2.0}, 1.0);
+  std::vector<ProcId> assignment = {0, 1};
+  EXPECT_THROW((void)rebalance_assignment(p, {1.0}, assignment),
+               std::invalid_argument);
+  std::vector<ProcId> bad_proc = {0, 7};
+  EXPECT_THROW((void)rebalance_assignment(p, {1.0, 1.0}, bad_proc),
+               std::invalid_argument);
+  std::vector<ProcId> ok = {0, 1};
+  EXPECT_THROW((void)rebalance_assignment(p, {1.0, -1.0}, ok),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oneport

@@ -107,7 +107,7 @@ TEST(LoadBalance, PaperDistributionOf38Tasks) {
 
 TEST(LoadBalance, DistributionSumsToN) {
   const Platform p = make_paper_platform();
-  for (const int n : {0, 1, 7, 37, 39, 100}) {
+  for (const int n : {1, 7, 37, 39, 100}) {
     const std::vector<int> counts = optimal_distribution(p, n);
     int total = 0;
     for (const int c : counts) total += c;
@@ -119,7 +119,7 @@ TEST(LoadBalance, DistributionSumsToN) {
 /// distribution minimizes max_i t_i * n_i over all integer splits.
 TEST(LoadBalance, DistributionIsOptimalSmall) {
   const Platform p({1.0, 2.0, 3.0}, 1.0);
-  for (int n = 0; n <= 12; ++n) {
+  for (int n = 1; n <= 12; ++n) {
     const double greedy =
         distribution_makespan(p, optimal_distribution(p, n));
     double best = 1e100;

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "dynamic/events.hpp"
+#include "dynamic/reschedule.hpp"
 #include "sched/replay.hpp"
 #include "sched/timeline.hpp"
 #include "support/invariants.hpp"
@@ -157,6 +159,66 @@ TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
       EXPECT_TRUE(reference.comms() == indexed.comms())
           << "communications diverge between timeline implementations";
       EXPECT_EQ(reference.makespan(), indexed.makespan());
+    }
+  }
+}
+
+// Event-trace determinism: the same (DAG, platform, trace, heuristic)
+// input must yield a bit-identical dynamic result -- every epoch's
+// placements, live messages, and stale list -- under both
+// ONEPORT_TIMELINE implementations.  The rebuild path leans on
+// next_fit/reserve far harder than the static engines (timelines are
+// pre-seeded with the whole frozen prefix), so this is the dynamic
+// extension of the differential pin above.
+TEST(PropertySweepDifferential, DynamicRunsAreTimelineImplInvariant) {
+  std::vector<Scenario> scenarios = testsupport::scenario_sweep(8187, 4);
+  for (Scenario& scenario : testsupport::routed_scenario_sweep(9191, 5)) {
+    scenarios.push_back(std::move(scenario));
+  }
+  const std::vector<std::string> traces = {"slowdown", "dropout", "mixed",
+                                           "arrival"};
+  for (const Scenario& scenario : scenarios) {
+    const SchedulerConfig config{.ilha_chunk_size = 5,
+                                 .routing = scenario.routing_ptr()};
+    for (const SchedulerEntry& entry : registry_for(scenario)) {
+      const Schedule initial =
+          entry.run(scenario.graph, scenario.platform);
+      for (const std::string& trace_name : traces) {
+        SCOPED_TRACE(scenario.description + " scheduler=" + entry.name +
+                     " trace=" + trace_name);
+        const dyn::EventTrace trace =
+            dyn::make_named_trace(trace_name, scenario.graph,
+                                  scenario.platform, initial, scenario.seed);
+        dyn::DynamicOptions options;
+        options.model = model_of(entry);
+        dyn::DynamicResult reference;
+        dyn::DynamicResult indexed;
+        {
+          ScopedTimelineImpl guard(TimelineImpl::kReference);
+          reference = dyn::run_dynamic(scenario.graph, scenario.platform,
+                                       entry.name, config, trace, options);
+        }
+        {
+          ScopedTimelineImpl guard(TimelineImpl::kGapIndexed);
+          indexed = dyn::run_dynamic(scenario.graph, scenario.platform,
+                                     entry.name, config, trace, options);
+        }
+        EXPECT_TRUE(reference.schedule.tasks() == indexed.schedule.tasks())
+            << "dynamic placements diverge between timeline impls";
+        EXPECT_TRUE(reference.schedule.comms() == indexed.schedule.comms())
+            << "dynamic messages diverge between timeline impls";
+        EXPECT_TRUE(reference.stale_comms == indexed.stale_comms)
+            << "stale lists diverge between timeline impls";
+        ASSERT_EQ(reference.epochs.size(), indexed.epochs.size());
+        for (std::size_t k = 0; k < reference.epochs.size(); ++k) {
+          EXPECT_TRUE(reference.epochs[k].schedule.tasks() ==
+                      indexed.epochs[k].schedule.tasks())
+              << "epoch " << k << " placements diverge";
+          EXPECT_TRUE(reference.epochs[k].schedule.comms() ==
+                      indexed.epochs[k].schedule.comms())
+              << "epoch " << k << " messages diverge";
+        }
+      }
     }
   }
 }

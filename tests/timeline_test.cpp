@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -379,6 +380,112 @@ TEST_P(TimelinePropertyTest, InvariantSortedDisjoint) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
                          ::testing::Values(1u, 2u, 3u, 17u, 99u, 12345u));
+
+// --------------------------------------- deferred middle-insert buffer
+
+// The scenarios below reserve deep inside long timelines -- the pattern
+// the dynamic rescheduler's prefix-freeze produces -- so they drive the
+// GapTimeline pending buffer (deferral, query absorption, flush) that
+// pure next_fit/reserve appends never reach.
+
+/// A long alternating timeline: blocks [4i, 4i+1), gaps in between.
+template <typename T>
+void lay_down_blocks(T& t, int blocks) {
+  for (int i = 0; i < blocks; ++i) {
+    t.reserve(4.0 * i, 4.0 * i + 1.0);
+  }
+}
+
+class TimelineMiddleInsertTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineMiddleInsertTest, RandomMiddleInsertsAgreeWithReference) {
+  SplitMix64 rng(GetParam());
+  Timeline reference;
+  GapTimeline gap;
+  const int blocks = 600;
+  lay_down_blocks(reference, blocks);
+  lay_down_blocks(gap, blocks);
+
+  // Visit the interior gaps in a random order and drop a sliver strictly
+  // inside each: every insert splits a gap far from the tail.
+  std::vector<int> order(static_cast<std::size_t>(blocks - 1));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t step = 0; step < order.size(); ++step) {
+    const double base = 4.0 * order[step];
+    const double start = base + 1.5 + rng.uniform(0.0, 0.5);
+    const double end = start + rng.uniform(0.2, 0.8);
+    reference.reserve(start, end);
+    gap.reserve(start, end);
+    // Interleave queries so absorption runs against a hot buffer.
+    const double ready = rng.uniform(0.0, 4.0 * blocks);
+    const double duration = rng.uniform(0.0, 2.0);
+    ASSERT_EQ(reference.next_fit(ready, duration),
+              gap.next_fit(ready, duration))
+        << "step " << step;
+    ASSERT_EQ(reference.is_free(start - 0.1, end),
+              gap.is_free(start - 0.1, end))
+        << "step " << step;
+    if (step % 64 == 0) {
+      ASSERT_EQ(reference.busy_intervals(), gap.busy_intervals())
+          << "step " << step;
+    }
+  }
+  EXPECT_EQ(reference.busy_intervals(), gap.busy_intervals());
+  EXPECT_NEAR(reference.busy_time(), gap.busy_time(), 1e-9);
+  EXPECT_EQ(reference.horizon(), gap.horizon());
+  // The pattern must actually have exercised the buffer.
+  EXPECT_GT(gap.stats().deferred_inserts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineMiddleInsertTest,
+                         ::testing::Values<std::uint64_t>(11, 42, 4096,
+                                                          31337));
+
+TEST(TimelineMiddleInsert, QueriesSeePendingImmediately) {
+  GapTimeline gap;
+  lay_down_blocks(gap, 200);
+  // Split an early gap; with ~200 gaps after it the insert is deferred.
+  gap.reserve(9.5, 10.5);
+  EXPECT_GT(gap.stats().deferred_inserts, 0u);
+  EXPECT_FALSE(gap.is_free(9.5, 10.5));
+  EXPECT_FALSE(gap.is_free(9.0, 10.0));
+  // next_fit must not hand the pending slot out again.
+  EXPECT_DOUBLE_EQ(gap.next_fit(9.0, 1.0), 10.5);
+  // And the busy view merges it in place.
+  const std::vector<Interval> busy = gap.busy_intervals();
+  const Interval expected{9.5, 10.5};
+  bool found = false;
+  for (const Interval& iv : busy) found |= iv == expected;
+  EXPECT_TRUE(found);
+}
+
+TEST(TimelineMiddleInsert, BufferFlushesBeforeGrowingQuadratic) {
+  GapTimeline gap;
+  const int blocks = 400;
+  lay_down_blocks(gap, blocks);
+  for (int i = 0; i + 1 < blocks; ++i) {
+    gap.reserve(4.0 * i + 2.0, 4.0 * i + 3.0);
+  }
+  const GapTimeline::Stats& stats = gap.stats();
+  EXPECT_GT(stats.deferred_inserts, 0u);
+  EXPECT_GE(stats.flushes, 1u);
+  // Deferred compaction bounds element movement by ~n*sqrt(n); direct
+  // middle inserts into n gaps would have shifted ~n^2/2 elements.  The
+  // factor-8 headroom keeps the pin about the asymptotic, not the exact
+  // constants.
+  const auto n = static_cast<double>(blocks);
+  EXPECT_LT(static_cast<double>(stats.moved_elements), 8.0 * n * std::sqrt(n))
+      << "middle inserts moved quadratically many elements";
+  // The result is still exactly right: blocks and slivers alternate.
+  const std::vector<Interval> busy = gap.busy_intervals();
+  ASSERT_EQ(busy.size(), static_cast<std::size_t>(2 * blocks - 1));
+}
 
 }  // namespace
 }  // namespace oneport

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Refresh bench/baseline.json from a CI bench artifact.
+
+Usage:
+    rebaseline_bench.py BENCH_<sha>.json [--baseline=bench/baseline.json]
+        [--prefixes=routed/,scale/,timeline/,reschedule/] [--check]
+
+The bench-trajectory CI job uploads one ``BENCH_<sha>.json`` google
+benchmark artifact per commit.  This tool rewrites the committed
+baseline from such an artifact so the trajectory gate keeps comparing
+against recent reality instead of an ever-staler snapshot:
+
+  * aggregate rows (mean/median/stddev of ``--benchmark_repetitions``
+    runs) are dropped -- the gate only reads plain iteration rows and
+    keeps the per-name minimum, so the baseline stores exactly what the
+    gate consumes;
+  * rows not matching ``--prefixes`` are dropped (figure benches and
+    other untracked executables never belong in the baseline);
+  * the context block is kept verbatim, so a future reader can see what
+    machine the baseline came from;
+  * the output is stable-sorted by name, so rebaselining commits diff
+    minimally.
+
+``--check`` validates without writing: exits non-zero when the artifact
+is missing a benchmark the current baseline tracks (a rename that must
+be handled by hand), so the scheduled workflow fails loudly instead of
+silently shrinking the gate.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def filtered_rows(doc, prefixes):
+    rows = []
+    for entry in doc.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name", "")
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        rows.append(entry)
+    rows.sort(key=lambda e: (e.get("name", ""), e.get("repetition_index", 0)))
+    return rows
+
+
+def main(argv):
+    baseline_path = "bench/baseline.json"
+    prefixes = ["routed/", "scale/", "timeline/", "reschedule/"]
+    check_only = False
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--baseline="):
+            baseline_path = arg.split("=", 1)[1]
+        elif arg.startswith("--prefixes="):
+            prefixes = [p for p in arg.split("=", 1)[1].split(",") if p]
+        elif arg == "--check":
+            check_only = True
+        else:
+            positional.append(arg)
+    if len(positional) != 1:
+        sys.exit(__doc__)
+    artifact_path = positional[0]
+
+    artifact = load(artifact_path)
+    rows = filtered_rows(artifact, prefixes)
+    if not rows:
+        sys.exit(f"no benchmarks matching {prefixes} in {artifact_path}")
+    new_names = {e["name"] for e in rows}
+
+    try:
+        old_names = {
+            e["name"] for e in filtered_rows(load(baseline_path), prefixes)
+        }
+    except FileNotFoundError:
+        old_names = set()
+
+    lost = sorted(old_names - new_names)
+    gained = sorted(new_names - old_names)
+    print(f"{len(new_names)} benchmark names in artifact "
+          f"({len(rows)} rows after dropping aggregates)")
+    for name in gained:
+        print(f"  new: {name}")
+    if lost:
+        print("FAIL: artifact is missing baseline benchmarks (renames must "
+              "be rebaselined by hand): " + ", ".join(lost))
+        return 1
+    if check_only:
+        print("OK: artifact covers every tracked benchmark")
+        return 0
+
+    out = {"context": artifact.get("context", {}), "benchmarks": rows}
+    with open(baseline_path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {baseline_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
