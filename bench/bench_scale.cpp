@@ -2,8 +2,10 @@
 //
 //   * HEFT and ILHA on 1k/5k/10k-task random layered DAGs under both
 //     communication models, once per timeline implementation (reference
-//     sorted-vector vs gap-indexed), so the indexed timelines' win -- and
-//     any future regression -- shows up directly in the timings;
+//     sorted-vector vs gap-indexed vs calendar queue), so the indexed
+//     timelines' win -- and any future regression -- shows up directly
+//     in the timings; a 100k-task one-port tier (gap + calendar only)
+//     tracks the hot path at the scale the SoA/arena work targets;
 //   * the same schedulers over sparse routed topologies (ring / star /
 //     random connected, plus the structured 2D mesh / torus / fat tree
 //     of ISSUE-4), so the store-and-forward evaluation path and the
@@ -18,7 +20,15 @@
 //   * the timelines under an adversarial middle-insert workload, with the
 //     gap timeline's deferred-compaction cost pinned by OP_ASSERT to its
 //     documented O(n * sqrt(n)) total -- a regression to quadratic
-//     middle-inserts aborts the bench instead of just slowing it.
+//     middle-inserts aborts the bench instead of just slowing it; the
+//     calendar queue runs the same workload under its own
+//     timeline/calendar-* names with a linear shifted-segment pin.
+//
+// Every bench forwards the per-thread scalability profiler: run with
+// ONEPORT_PROFILE=1 and the hot-path counter aggregate appears as
+// "prof_<counter>" entries in the benchmark JSON; run without it and an
+// OP_ASSERT proves no counter slab was ever allocated (the profiler's
+// zero-overhead-when-disabled contract).  See docs/PROFILING.md.
 //
 // Schedule makespans are exported as counters: the two timeline
 // implementations must agree bit-identically (the property sweep enforces
@@ -40,9 +50,11 @@
 #include "dynamic/reschedule.hpp"
 #include "platform/platform.hpp"
 #include "platform/routing.hpp"
+#include "sched/calendar_timeline.hpp"
 #include "sched/timeline.hpp"
 #include "testbeds/testbeds.hpp"
 #include "util/error.hpp"
+#include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -74,22 +86,64 @@ const Platform& paper_platform() {
   return *platform;
 }
 
+/// Profiler bridge for every bench in this binary.  With ONEPORT_PROFILE
+/// set, the hot-path counter aggregate (summed over per-thread slabs)
+/// lands in the benchmark JSON as "prof_<counter>" entries -- call
+/// prof::reset() right before the timing loop so the numbers cover this
+/// benchmark's iterations only.  With the profiler disabled this *pins*
+/// the zero-overhead contract instead: a disabled run must never have
+/// allocated a counter slab (bump() is a relaxed load + untaken branch),
+/// so slab_count() == 0 is a property the bench can prove, unlike a
+/// wall-clock delta.  OP_ASSERT aborts the whole bench run on violation.
+void attach_profile_counters(benchmark::State& state) {
+  if (prof::enabled()) {
+    const prof::Counts totals = prof::aggregate();
+    for (std::size_t i = 0; i < prof::kNumCounters; ++i) {
+      const auto c = static_cast<prof::Counter>(i);
+      state.counters[std::string("prof_") + prof::counter_name(c)] =
+          benchmark::Counter(static_cast<double>(totals[i]));
+    }
+    state.counters["prof_threads"] =
+        static_cast<double>(prof::slab_count());
+  } else {
+    OP_ASSERT(prof::slab_count() == 0,
+              "profiler is disabled but " << prof::slab_count()
+                  << " counter slab(s) exist -- the disabled path "
+                     "allocated, breaking the zero-overhead contract");
+  }
+}
+
 void register_scheduler_benchmarks() {
   struct SchedulerCase {
     std::string name;
     EftEngine::Model model;
     bool ilha;
   };
-  const std::vector<SchedulerCase> cases = {
+  const std::vector<SchedulerCase> all_cases = {
       {"heft-oneport", EftEngine::Model::kOnePort, false},
       {"ilha-oneport", EftEngine::Model::kOnePort, true},
       {"heft-macro", EftEngine::Model::kMacroDataflow, false},
       {"ilha-macro", EftEngine::Model::kMacroDataflow, true},
   };
-  for (const int n : {1000, 5000, 10000}) {
+  // The 100k tier tracks the end-to-end hot path at the scale the SoA /
+  // calendar work targets.  Only the one-port cases and the indexed
+  // timelines run there: the reference timeline's linear probe scans are
+  // quadratic-ish at this size and would dominate the bench budget
+  // without adding signal (the 30k differential tests already pin its
+  // bit-identical agreement).
+  const std::vector<SchedulerCase> oneport_cases = {all_cases[0],
+                                                    all_cases[1]};
+  for (const int n : {1000, 5000, 10000, 100000}) {
+    const bool big = n >= 100000;
+    const std::vector<SchedulerCase>& cases = big ? oneport_cases : all_cases;
+    const std::vector<TimelineImpl> impls =
+        big ? std::vector<TimelineImpl>{TimelineImpl::kGapIndexed,
+                                        TimelineImpl::kCalendar}
+            : std::vector<TimelineImpl>{TimelineImpl::kGapIndexed,
+                                        TimelineImpl::kCalendar,
+                                        TimelineImpl::kReference};
     for (const SchedulerCase& c : cases) {
-      for (const TimelineImpl impl :
-           {TimelineImpl::kGapIndexed, TimelineImpl::kReference}) {
+      for (const TimelineImpl impl : impls) {
         const std::string name = "scale/n=" + std::to_string(n) + "/" +
                                  c.name + "/" + timeline_impl_name(impl);
         benchmark::RegisterBenchmark(
@@ -99,6 +153,7 @@ void register_scheduler_benchmarks() {
               const Platform& platform = paper_platform();
               ScopedTimelineImpl guard(impl);
               double makespan = 0.0;
+              prof::reset();
               for (auto _ : state) {
                 const Schedule s =
                     c.ilha ? ilha(graph, platform,
@@ -113,6 +168,7 @@ void register_scheduler_benchmarks() {
               state.counters["tasks_per_s"] = benchmark::Counter(
                   static_cast<double>(graph.num_tasks()),
                   benchmark::Counter::kIsIterationInvariantRate);
+              attach_profile_counters(state);
             })
             ->Unit(benchmark::kMillisecond);
       }
@@ -170,6 +226,7 @@ void register_routed_benchmarks() {
                 const RoutedPlatform& routed = *shared;
                 ScopedTimelineImpl guard(impl);
                 double makespan = 0.0;
+                prof::reset();
                 for (auto _ : state) {
                   const Schedule s =
                       run_ilha
@@ -187,6 +244,7 @@ void register_routed_benchmarks() {
                 state.counters["tasks_per_s"] = benchmark::Counter(
                     static_cast<double>(graph.num_tasks()),
                     benchmark::Counter::kIsIterationInvariantRate);
+                attach_profile_counters(state);
               })
               ->Unit(benchmark::kMillisecond);
         }
@@ -233,6 +291,7 @@ void register_reschedule_benchmarks() {
               options.model = CommModel::kOnePort;
               double makespan = 0.0;
               double epochs = 0.0;
+              prof::reset();
               for (auto _ : state) {
                 const dyn::DynamicResult result = dyn::run_dynamic(
                     graph, platform, "heft-oneport", config, trace, options);
@@ -245,6 +304,7 @@ void register_reschedule_benchmarks() {
               state.counters["tasks_per_s"] = benchmark::Counter(
                   static_cast<double>(graph.num_tasks()),
                   benchmark::Counter::kIsIterationInvariantRate);
+              attach_profile_counters(state);
             })
             ->Unit(benchmark::kMillisecond);
       }
@@ -318,9 +378,53 @@ void register_timeline_benchmarks() {
             }
             state.counters["reservations"] =
                 static_cast<double>(2 * blocks - 1);
+            attach_profile_counters(state);
           })
           ->Unit(benchmark::kMillisecond);
     }
+  }
+
+  // The calendar queue under the same adversarial scattered middle-insert
+  // workload (its own name group so the trajectory gate tracks it as
+  // timeline/calendar-*).  Bucketed inserts touch one bucket each and the
+  // bucket array rebuilds only on occupancy/range growth, so the total
+  // shifted-segment count is linear in the reservations with a small
+  // constant; the OP_ASSERT pins that at 32n -- a regression to per-insert
+  // shifting (~n^2/2 at n=4096) aborts the bench.
+  for (const int n : {4096, 16384}) {
+    const std::string name = "timeline/calendar-insert/n=" + std::to_string(n);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [n](benchmark::State& state) {
+          const auto blocks = static_cast<std::size_t>(n);
+          std::size_t shifted = 0;
+          prof::reset();
+          for (auto _ : state) {
+            CalendarTimeline t;
+            for (std::size_t i = 0; i < blocks; ++i) {
+              const double base = 4.0 * static_cast<double>(i);
+              t.reserve(base, base + 1.0);
+            }
+            for (std::size_t k = 0; k < blocks - 1; ++k) {
+              const std::size_t i = (k * 2654435761u) % (blocks - 1);
+              const double base = 4.0 * static_cast<double>(i);
+              t.reserve(base + 2.0, base + 2.5);
+            }
+            shifted = t.stats().shifted_segments;
+            benchmark::DoNotOptimize(shifted);
+          }
+          const double bound = 32.0 * static_cast<double>(blocks);
+          OP_ASSERT(static_cast<double>(shifted) <= bound,
+                    "calendar timeline middle-inserts stopped amortizing: "
+                    "shifted "
+                        << shifted << " segments, bound " << bound);
+          state.counters["shifted_segments"] =
+              static_cast<double>(shifted);
+          state.counters["reservations"] =
+              static_cast<double>(2 * blocks - 1);
+          attach_profile_counters(state);
+        })
+        ->Unit(benchmark::kMillisecond);
   }
 }
 
@@ -352,6 +456,7 @@ void register_sweep_benchmarks() {
         // `grid` by value: the benchmark outlives this registration scope.
         [grid = *d.grid, d](benchmark::State& state) {
           double total_makespan = 0.0;
+          prof::reset();
           for (auto _ : state) {
             const std::vector<analysis::SweepResult> results =
                 analysis::run_sweep(grid, paper_platform(),
@@ -367,6 +472,7 @@ void register_sweep_benchmarks() {
               d.workers == 0 ? ThreadPool::default_workers()
                              : static_cast<unsigned>(d.workers));
           state.counters["total_makespan"] = total_makespan;
+          attach_profile_counters(state);
         })
         ->Unit(benchmark::kMillisecond);
   }

@@ -9,6 +9,7 @@
 //             [--schedulers=heft-oneport,ilha-oneport]
 //             [--topologies=full,ring,star,line,random,mesh3x3,torus3x3,fattree2x2]
 //             [--events=none,slowdown,dropout,mixed,arrival]
+//             [--rebalance=off,on]
 //             [--comm-ratio=10] [--chunk=38] [--workers=0]
 //             [--topology-seed=1] [--no-validate]
 //             [--csv=out.csv] [--json=out.json] [--quiet]
@@ -21,7 +22,10 @@
 // times).  The --events axis replays each point through the online
 // rescheduler (src/dynamic) under a named platform-fault trace --
 // processor slowdowns, drop-outs, late task arrivals -- derived from the
-// static schedule's makespan; "none" keeps the point static.
+// static schedule's makespan; "none" keeps the point static.  The
+// --rebalance axis toggles the per-epoch load_balance skew-reduction
+// pass on those dynamic points; the worst per-epoch suffix imbalance
+// before/after the pass lands in the imb_before/imb_after columns.
 // Structured names take ':' suffixes making link heterogeneity
 // and routing policy sweep axes -- e.g. mesh4x4:het0.5:swp = seeded
 // +/-50% link jitter routed by cost-aware shortest-weighted-path; see
@@ -44,6 +48,7 @@
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/profiler.hpp"
 
 namespace {
 
@@ -87,21 +92,40 @@ void write_json(std::ostream& os,
                 int workers) {
   os << "{\n  \"context\": {\n"
      << "    \"executable\": \"sweep_cli\",\n"
-     << "    \"workers\": " << workers << "\n"
-     << "  },\n  \"benchmarks\": [\n";
+     << "    \"workers\": " << workers;
+  // Per-thread scalability profile (ONEPORT_PROFILE=1): the aggregate
+  // counter vector over every worker slab, at quiescence (the pool has
+  // drained by the time artifacts are written).  Absent entirely when
+  // the profiler is disabled, so its presence is itself the smoke
+  // signal CI greps for.
+  if (prof::enabled()) {
+    const prof::Counts totals = prof::aggregate();
+    os << ",\n    \"profile\": {\n"
+       << "      \"threads\": " << prof::slab_count();
+    for (std::size_t i = 0; i < prof::kNumCounters; ++i) {
+      os << ",\n      \"prof_"
+         << prof::counter_name(static_cast<prof::Counter>(i))
+         << "\": " << totals[i];
+    }
+    os << "\n    }";
+  }
+  os << "\n  },\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const analysis::SweepResult& r = results[i];
     std::string name = r.point.topology + "/" + r.point.testbed +
                        "/n=" + std::to_string(r.point.size) + "/" +
                        r.point.scheduler;
     if (r.point.events != "none") name += "/events=" + r.point.events;
+    if (r.point.rebalance) name += "/rebalance=on";
     os << "    {\n"
        << "      \"name\": \"" << json_escape(name) << "\",\n"
        << "      \"run_type\": \"sweep\",\n"
        << "      \"tasks\": " << r.num_tasks << ",\n"
        << "      \"makespan\": " << r.makespan << ",\n"
        << "      \"ratio\": " << r.speedup << ",\n"
-       << "      \"msgs\": " << r.num_comms << "\n"
+       << "      \"msgs\": " << r.num_comms << ",\n"
+       << "      \"imb_before\": " << r.imbalance_before << ",\n"
+       << "      \"imb_after\": " << r.imbalance_after << "\n"
        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -118,6 +142,7 @@ int run(int argc, char** argv) {
            "fattree<L>x<A>]\n"
            "                 [--events=none,slowdown,dropout,mixed,"
            "arrival]\n"
+           "                 [--rebalance=off,on]\n"
            "                 [--comm-ratio=10] [--chunk=38] [--workers=0]\n"
            "                 [--topology-seed=1] [--no-validate]\n"
            "                 [--csv=out.csv] [--json=out.json] [--quiet]\n"
@@ -127,6 +152,11 @@ int run(int argc, char** argv) {
            "trace: processor slowdowns, drop-outs, and late task\n"
            "arrivals derived from the static schedule's makespan\n"
            "('none' keeps the point static).\n"
+           "\n"
+           "--rebalance makes the per-epoch load_balance rebalancing\n"
+           "pass a grid axis for those dynamic points ('off', 'on', or\n"
+           "both); the worst per-epoch suffix imbalance before/after\n"
+           "the pass is reported as imb_before/imb_after.\n"
            "\n"
            "Structured topology names take ':' suffixes for per-link\n"
            "heterogeneity and the routing policy axis (defaults: xy on\n"
@@ -150,13 +180,21 @@ int run(int argc, char** argv) {
       split_list(args.get("topologies", "full"));
   const std::vector<std::string> events =
       split_list(args.get("events", "none"));
+  const std::vector<std::string> rebalance_names =
+      split_list(args.get("rebalance", "off"));
+  std::vector<bool> rebalance;
+  for (const std::string& mode : rebalance_names) {
+    ensure(mode == "on" || mode == "off",
+           "unknown --rebalance mode '" + mode + "' (expected on/off)");
+    rebalance.push_back(mode == "on");
+  }
   const double comm_ratio = args.get_double("comm-ratio", 10.0);
   const int chunk = args.get_int("chunk", 38);
   const int workers = args.get_int("workers", 0);
   const auto topology_seed =
       static_cast<std::uint64_t>(args.get_int("topology-seed", 1));
   ensure(!testbeds.empty() && !sizes.empty() && !schedulers.empty() &&
-             !topologies.empty() && !events.empty(),
+             !topologies.empty() && !events.empty() && !rebalance.empty(),
          "every grid axis needs at least one entry");
   // Same fail-fast rule for event-trace names as for topologies.
   for (const std::string& trace : events) {
@@ -174,7 +212,8 @@ int run(int argc, char** argv) {
   }
 
   std::vector<analysis::SweepPoint> grid = analysis::make_sweep_grid(
-      testbeds, sizes, schedulers, comm_ratio, chunk, topologies, events);
+      testbeds, sizes, schedulers, comm_ratio, chunk, topologies, events,
+      rebalance);
   for (analysis::SweepPoint& point : grid) point.topology_seed = topology_seed;
 
   const Platform platform = make_paper_platform();

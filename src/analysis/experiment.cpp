@@ -1,5 +1,6 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -114,19 +115,23 @@ std::vector<SweepPoint> make_sweep_grid(
     const std::vector<int>& sizes,
     const std::vector<std::string>& scheduler_names, double comm_ratio,
     int chunk_size, const std::vector<std::string>& topologies,
-    const std::vector<std::string>& events) {
+    const std::vector<std::string>& events,
+    const std::vector<bool>& rebalance) {
   std::vector<SweepPoint> grid;
   grid.reserve(topologies.size() * testbed_names.size() * sizes.size() *
-               scheduler_names.size() * events.size());
+               scheduler_names.size() * events.size() * rebalance.size());
   for (const std::string& topology : topologies) {
     for (const std::string& testbed : testbed_names) {
       for (const int n : sizes) {
         for (const std::string& scheduler : scheduler_names) {
           for (const std::string& trace : events) {
-            SweepPoint point{testbed, n, scheduler, comm_ratio, chunk_size};
-            point.topology = topology;
-            point.events = trace;
-            grid.push_back(std::move(point));
+            for (const bool reb : rebalance) {
+              SweepPoint point{testbed, n, scheduler, comm_ratio, chunk_size};
+              point.topology = topology;
+              point.events = trace;
+              point.rebalance = reb;
+              grid.push_back(std::move(point));
+            }
           }
         }
       }
@@ -165,6 +170,8 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
     const SchedulerEntry scheduler = find_scheduler(point.scheduler, config);
     Schedule schedule = scheduler.run(graph, target);
 
+    double imbalance_before = 0.0;
+    double imbalance_after = 0.0;
     if (point.events != "none") {
       // Dynamic point: derive the named fault trace from the static
       // schedule's makespan and replay the run through the online
@@ -179,9 +186,17 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
       dyn_options.model = is_one_port(point.scheduler)
                               ? CommModel::kOnePort
                               : CommModel::kMacroDataflow;
-      schedule = dyn::run_dynamic(graph, target, point.scheduler, config,
-                                  trace, dyn_options)
-                     .schedule;
+      dyn_options.rebalance = point.rebalance;
+      const dyn::DynamicResult dynamic = dyn::run_dynamic(
+          graph, target, point.scheduler, config, trace, dyn_options);
+      schedule = dynamic.schedule;
+      // Report the worst epoch skew: per epoch the rebalancing pass never
+      // increases the imbalance, so max(after) <= max(before) and the
+      // before/after pair shows directly how much the pass bought.
+      for (const dyn::EpochSnapshot& epoch : dynamic.epochs) {
+        imbalance_before = std::max(imbalance_before, epoch.imbalance_before);
+        imbalance_after = std::max(imbalance_after, epoch.imbalance_after);
+      }
     } else if (options.validate) {
       const ValidationResult result =
           is_one_port(point.scheduler)
@@ -199,6 +214,8 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
     out.makespan = schedule.makespan();
     out.speedup = speedup(graph, target, schedule);
     out.num_comms = schedule.num_comms();
+    out.imbalance_before = imbalance_before;
+    out.imbalance_after = imbalance_after;
   });
   return results;
 }
@@ -231,14 +248,18 @@ std::shared_ptr<const RoutedPlatform> shared_topology_platform(
 
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {
   csv::Table table({"topology", "testbed", "n", "scheduler", "events",
-                    "tasks", "ratio", "makespan", "msgs"});
+                    "rebalance", "tasks", "ratio", "makespan", "msgs",
+                    "imb_before", "imb_after"});
   for (const SweepResult& r : rows) {
     table.add_row({r.point.topology, r.point.testbed,
                    std::to_string(r.point.size), r.point.scheduler,
-                   r.point.events, std::to_string(r.num_tasks),
+                   r.point.events, r.point.rebalance ? "on" : "off",
+                   std::to_string(r.num_tasks),
                    csv::format_number(r.speedup),
                    csv::format_number(r.makespan, 0),
-                   std::to_string(r.num_comms)});
+                   std::to_string(r.num_comms),
+                   csv::format_number(r.imbalance_before, 3),
+                   csv::format_number(r.imbalance_after, 3)});
   }
   return table;
 }

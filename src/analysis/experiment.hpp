@@ -88,6 +88,10 @@ struct SweepPoint {
   /// schedule's makespan and replays the point through dyn::run_dynamic,
   /// reporting the dynamic composite's metrics.
   std::string events = "none";
+  /// Run the load_balance skew-reduction pass (DynamicOptions::rebalance)
+  /// on every epoch's suffix allocation.  Only meaningful for dynamic
+  /// points (events != "none"); static points ignore it.
+  bool rebalance = false;
 };
 
 struct SweepResult {
@@ -96,6 +100,13 @@ struct SweepResult {
   double makespan = 0.0;
   double speedup = 0.0;  ///< sequential time / makespan (the paper's ratio)
   std::size_t num_comms = 0;
+  /// Worst per-epoch suffix load skew (fractional_load_imbalance) seen
+  /// before and after the rebalancing pass.  The pass never increases an
+  /// epoch's skew, so imbalance_after <= imbalance_before always; the two
+  /// are equal when rebalancing is off or made no move, and both are 0
+  /// for static points (no epochs).
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
 };
 
 struct SweepOptions {
@@ -107,15 +118,17 @@ struct SweepOptions {
 };
 
 /// Builds the full cross product topologies x testbeds x sizes x
-/// schedulers x event traces (topology outermost, events innermost;
-/// defaults to fully connected, static-only).
+/// schedulers x event traces x rebalance modes (topology outermost,
+/// rebalance innermost; defaults to fully connected, static-only, no
+/// rebalancing).
 [[nodiscard]] std::vector<SweepPoint> make_sweep_grid(
     const std::vector<std::string>& testbed_names,
     const std::vector<int>& sizes,
     const std::vector<std::string>& scheduler_names,
     double comm_ratio = 10.0, int chunk_size = 38,
     const std::vector<std::string>& topologies = {"full"},
-    const std::vector<std::string>& events = {"none"});
+    const std::vector<std::string>& events = {"none"},
+    const std::vector<bool>& rebalance = {false});
 
 /// Runs every grid point (in parallel per SweepOptions::workers) and
 /// returns results in grid order.  Static points are validated per

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/profiler.hpp"
 
 namespace oneport {
 
@@ -14,6 +15,10 @@ EftEngine::EftEngine(const TaskGraph& graph, const Platform& platform,
       platform_(platform),
       model_(model),
       routing_(routing),
+      np_(static_cast<std::size_t>(platform.num_processors())),
+      link_data_(platform.link_matrix().data()),
+      cycle_data_(platform.cycle_times().data()),
+      dist_data_(routing != nullptr ? routing->distances().data() : nullptr),
       placements_(graph.num_tasks()),
       compute_(static_cast<std::size_t>(platform.num_processors())),
       send_(static_cast<std::size_t>(platform.num_processors())),
@@ -27,6 +32,7 @@ EftEngine::EftEngine(const TaskGraph& graph, const Platform& platform,
   OP_REQUIRE(routing == nullptr ||
                  routing->num_processors() == platform.num_processors(),
              "routing table does not match the platform");
+  if (default_graph_path() == GraphPath::kSoa) soa_.emplace(graph);
   for (TaskId v = 0; v < graph.num_tasks(); ++v) {
     pending_preds_[v] = static_cast<std::uint32_t>(graph.in_degree(v));
   }
@@ -50,54 +56,69 @@ TimelineOverlay& EftEngine::overlay_of(
     const std::vector<TimelineIndex>& base, ProcId p) const {
   const auto i = static_cast<std::size_t>(p);
   if (epochs[i] != epoch_) {
+    prof::bump(prof::Counter::kOverlayResets);
     overlays[i].reset(base[i]);
     epochs[i] = epoch_;
   }
   return overlays[i];
 }
 
-const std::vector<const EdgeRef*>& EftEngine::sorted_preds(TaskId v) const {
-  // Predecessors ordered by data-ready time (finish asc, id asc).  The
-  // order only depends on committed placements of v's predecessors,
+const std::vector<EftEngine::PredRec>& EftEngine::sorted_preds(
+    TaskId v) const {
+  // Predecessor lanes ordered by data-ready time (finish asc, id asc).
+  // The order only depends on committed placements of v's predecessors,
   // which are immutable once placed, so it is computed once per task and
   // shared by every candidate-processor evaluation and lower bound.
-  if (preds_task_ == v) return preds_scratch_;
+  if (preds_task_ == v) return preds_;
   preds_task_ = kInvalidTask;  // invalidate first: the fill below can throw
-  preds_scratch_.clear();
-  for (const EdgeRef& e : graph_.predecessors(v)) {
-    OP_REQUIRE(placements_[e.task].placed(),
+  preds_.clear();
+  for (const EdgeRef& e : preds_of(v)) {
+    const TaskPlacement& src = placements_[e.task];
+    OP_REQUIRE(src.placed(),
                "predecessor " << e.task << " of " << v << " not scheduled");
-    preds_scratch_.push_back(&e);
+    preds_.push_back({src.finish, e.data, 0.0, e.task, src.proc});
   }
-  std::sort(preds_scratch_.begin(), preds_scratch_.end(),
-            [this](const EdgeRef* a, const EdgeRef* b) {
-              const double fa = placements_[a->task].finish;
-              const double fb = placements_[b->task].finish;
-              if (fa != fb) return fa < fb;
-              return a->task < b->task;
-            });
+  // The sort key (finish, task) is a strict total order (ids are unique),
+  // so any correct sort yields the same permutation; small fan-ins take
+  // the branch-light insertion sort.
+  const auto before = [](const PredRec& a, const PredRec& b) {
+    if (a.finish != b.finish) return a.finish < b.finish;
+    return a.task < b.task;
+  };
+  if (preds_.size() <= 16) {
+    for (std::size_t i = 1; i < preds_.size(); ++i) {
+      const PredRec key = preds_[i];
+      std::size_t j = i;
+      for (; j > 0 && before(key, preds_[j - 1]); --j) preds_[j] = preds_[j - 1];
+      preds_[j] = key;
+    }
+  } else {
+    std::sort(preds_.begin(), preds_.end(), before);
+  }
   // Per-predecessor message release times for the one-port lower bound:
   // a message from q can leave no earlier than the first slot on q's
   // committed send port that fits the smallest possible transfer.  Port
   // reservations only grow, so a release computed now stays a valid
   // lower bound even if other commits land before the next evaluation.
   if (model_ == Model::kOnePort && routing_ == nullptr) {
-    releases_scratch_.clear();
-    for (const EdgeRef* e : preds_scratch_) {
-      const TaskPlacement& src = placements_[e->task];
-      const auto q = static_cast<std::size_t>(src.proc);
-      const double min_duration = e->data * min_out_link_[q];
-      releases_scratch_.push_back(
-          min_duration <= kTimeEps
-              ? src.finish
-              : send_[q].next_fit(src.finish, min_duration));
+    for (PredRec& r : preds_) {
+      const auto q = static_cast<std::size_t>(r.proc);
+      const double min_duration = r.data * min_out_link_[q];
+      r.release = min_duration <= kTimeEps
+                      ? r.finish
+                      : send_[q].next_fit(r.finish, min_duration);
     }
   }
   preds_task_ = v;
-  return preds_scratch_;
+  return preds_;
 }
 
 void EftEngine::evaluate_into(TaskId v, ProcId proc, Evaluation& out) const {
+  evaluate_into(v, proc, out, std::numeric_limits<double>::infinity());
+}
+
+void EftEngine::evaluate_into(TaskId v, ProcId proc, Evaluation& out,
+                              double cutoff) const {
   OP_REQUIRE(proc >= 0 && proc < platform_.num_processors(),
              "processor out of range");
   OP_REQUIRE(!scheduled(v), "task " << v << " already scheduled");
@@ -106,32 +127,160 @@ void EftEngine::evaluate_into(TaskId v, ProcId proc, Evaluation& out) const {
   out.proc = proc;
   out.comms.clear();
 
-  const std::vector<const EdgeRef*>& preds = sorted_preds(v);
+  const std::vector<PredRec>& preds = sorted_preds(v);
+  const double exec = weight_of(v) * cycle_data_[proc];
+
+  // Overlay-free fast path (one-port, direct links): when every cross
+  // predecessor sits on a *distinct* sender, no send port ever carries
+  // more than one tentative message within this evaluation, so the
+  // committed send timelines can be probed directly -- a sender overlay
+  // with no extras forwards every probe to its base verbatim.  Only the
+  // receive port of `proc` accumulates tentative reservations; they live
+  // in a start-sorted scratch whose probe below mirrors
+  // TimelineOverlay::next_fit operation for operation (horizon shortcut,
+  // base probe, ordered absorb pass to a fixpoint), so the resulting
+  // evaluation is bit-identical to the general path's.  Overlays are
+  // never touched here, which makes skipping the epoch bump safe: every
+  // general evaluation still bumps before reading one.
+  if (model_ == Model::kOnePort && routing_ == nullptr && np_ <= 64) {
+    std::uint64_t seen = 0;
+    bool distinct = true;
+    for (const PredRec& r : preds) {
+      if (r.proc == proc) continue;
+      const std::uint64_t bit = std::uint64_t{1}
+                                << static_cast<unsigned>(r.proc);
+      if ((seen & bit) != 0) {
+        distinct = false;
+        break;
+      }
+      seen |= bit;
+    }
+    if (distinct) {
+      recv_extras_.clear();
+      double extras_horizon = 0.0;
+      const TimelineIndex& rcv = recv_[static_cast<std::size_t>(proc)];
+      // The committed base never changes during one evaluation, matching
+      // the horizon an overlay would have cached at reset.
+      const double rcv_horizon = rcv.horizon();
+      double arrival = 0.0;
+      for (const PredRec& r : preds) {
+        if (arrival + exec > cutoff) {
+          out.start = arrival;
+          out.finish = arrival + exec;
+          return;
+        }
+        if (r.proc == proc) {
+          arrival = std::max(arrival, r.finish);
+          continue;
+        }
+        const double duration =
+            r.data * link_data_[static_cast<std::size_t>(r.proc) * np_ +
+                                static_cast<std::size_t>(proc)];
+        OP_REQUIRE(std::isfinite(duration),
+                   "no direct link P" << r.proc << "->P" << proc
+                                      << " and no routing table provided");
+        double start = r.finish;
+        if (duration > kTimeEps) {
+          const TimelineIndex& snd = send_[static_cast<std::size_t>(r.proc)];
+          const auto recv_fit = [&](double ready) {
+            if (ready >= rcv_horizon - kTimeEps &&
+                ready >= extras_horizon - kTimeEps) {
+              return ready;
+            }
+            if (recv_extras_.empty()) return rcv.next_fit(ready, duration);
+            double c = ready;
+            while (true) {
+              c = rcv.next_fit(c, duration);
+              bool moved = false;
+              for (const Interval& extra : recv_extras_) {
+                if (extra.start >= c + duration - kTimeEps) break;
+                if (overlaps(extra, {c, c + duration})) {
+                  c = extra.end;
+                  moved = true;
+                }
+              }
+              if (!moved) return c;
+            }
+          };
+          double candidate = r.finish;
+          while (true) {
+            const double ca = snd.next_fit(candidate, duration);
+            const double cb = recv_fit(ca);
+            if (cb <= ca + kTimeEps) {
+              start = ca;
+              break;
+            }
+            candidate = cb;
+          }
+          const double stop = start + duration;
+          if (stop > extras_horizon) extras_horizon = stop;
+          recv_extras_.insert(
+              std::partition_point(
+                  recv_extras_.begin(), recv_extras_.end(),
+                  [start](const Interval& e) { return e.start < start; }),
+              Interval{start, stop});
+        }
+        out.comms.push_back({r.task, r.proc, proc, start, start + duration});
+        arrival = std::max(arrival, start + duration);
+      }
+      out.start =
+          compute_[static_cast<std::size_t>(proc)].next_fit(arrival, exec);
+      out.finish = out.start + exec;
+      return;
+    }
+  }
 
   // A new epoch lazily invalidates every scratch overlay from the
   // previous evaluation.
   ++epoch_;
   double arrival = 0.0;
-  for (const EdgeRef* e : preds) {
-    const TaskPlacement& src = placements_[e->task];
-    if (src.proc == proc) {
-      arrival = std::max(arrival, src.finish);
+  for (const PredRec& r : preds) {
+    // Message arrivals only push `arrival` up, so once even the partial
+    // arrival makes finish overshoot the cutoff the candidate is dead:
+    // report the (still sound) lower bound and skip the remaining
+    // tentative messages.  Overlay state needs no cleanup -- the next
+    // evaluation's epoch bump invalidates it wholesale.
+    if (arrival + exec > cutoff) {
+      out.start = arrival;
+      out.finish = arrival + exec;
+      return;
+    }
+    if (r.proc == proc) {
+      arrival = std::max(arrival, r.finish);
       continue;
     }
-    // Routed path (direct {q, proc} when no routing table is set); each
-    // hop is a store-and-forward message.
-    path_scratch_.clear();
-    if (routing_ != nullptr) {
-      routing_->path_into(src.proc, proc, path_scratch_);
-    } else {
-      path_scratch_.push_back(src.proc);
-      path_scratch_.push_back(proc);
+    if (routing_ == nullptr) {
+      // Direct link: one message, no path materialization.
+      const double duration =
+          r.data * link_data_[static_cast<std::size_t>(r.proc) * np_ +
+                              static_cast<std::size_t>(proc)];
+      OP_REQUIRE(std::isfinite(duration),
+                 "no direct link P" << r.proc << "->P" << proc
+                                    << " and no routing table provided");
+      double start = r.finish;
+      if (model_ == Model::kOnePort) {
+        TimelineOverlay& send_ov =
+            overlay_of(send_overlays_, send_epochs_, send_, r.proc);
+        TimelineOverlay& recv_ov =
+            overlay_of(recv_overlays_, recv_epochs_, recv_, proc);
+        start = earliest_joint_fit(send_ov, recv_ov, r.finish, duration);
+        send_ov.add(start, start + duration);
+        recv_ov.add(start, start + duration);
+      }
+      out.comms.push_back({r.task, r.proc, proc, start, start + duration});
+      arrival = std::max(arrival, start + duration);
+      continue;
     }
-    double cursor = src.finish;
+    // Routed path; each hop is a store-and-forward message.
+    path_scratch_.clear();
+    routing_->path_into(r.proc, proc, path_scratch_);
+    double cursor = r.finish;
     for (std::size_t h = 0; h + 1 < path_scratch_.size(); ++h) {
       const ProcId a = path_scratch_[h];
       const ProcId b = path_scratch_[h + 1];
-      const double duration = platform_.comm_time(e->data, a, b);
+      const double duration =
+          r.data * link_data_[static_cast<std::size_t>(a) * np_ +
+                              static_cast<std::size_t>(b)];
       OP_REQUIRE(std::isfinite(duration),
                  "no direct link P" << a << "->P" << b
                                     << " and no routing table provided");
@@ -145,13 +294,12 @@ void EftEngine::evaluate_into(TaskId v, ProcId proc, Evaluation& out) const {
         send_ov.add(start, start + duration);
         recv_ov.add(start, start + duration);
       }
-      out.comms.push_back({e->task, a, b, start, start + duration});
+      out.comms.push_back({r.task, a, b, start, start + duration});
       cursor = start + duration;
     }
     arrival = std::max(arrival, cursor);
   }
 
-  const double exec = platform_.exec_time(graph_.weight(v), proc);
   out.start =
       compute_[static_cast<std::size_t>(proc)].next_fit(arrival, exec);
   out.finish = out.start + exec;
@@ -163,7 +311,7 @@ Evaluation EftEngine::evaluate(TaskId v, ProcId proc) const {
   return eval;
 }
 
-double EftEngine::finish_lower_bound(TaskId v, ProcId proc) const {
+void EftEngine::fill_bounds(TaskId v) const {
   // Every incoming message needs at least its (routed) transfer time
   // after the predecessor finishes, and the task itself needs its
   // execution time; port contention and compute gaps only push the real
@@ -176,50 +324,64 @@ double EftEngine::finish_lower_bound(TaskId v, ProcId proc) const {
   // earliest-release-date chain over the (finish-sorted) predecessors
   // lower-bounds the last message arrival -- any feasible disjoint
   // placement finishes no earlier than the ERD sequence.
-  double arrival = 0.0;
+  //
+  // All processor lanes advance together in one pass over the
+  // predecessor lanes: each predecessor updates every lane with the
+  // dense row of its link/distance costs, then restores its own lane to
+  // the same-processor recurrence.  Per lane this replays exactly the
+  // scalar per-processor recurrence (same operations, same order), so
+  // the bounds are bit-identical to evaluating one processor at a time.
+  const std::vector<PredRec>& preds = sorted_preds(v);
+  const std::size_t np = np_;
+  arr_scratch_.assign(np, 0.0);
+  double* const arr = arr_scratch_.data();
   if (model_ == Model::kOnePort && routing_ == nullptr) {
-    // The ERD chain must walk nondecreasing release dates to stay a
-    // lower bound; predecessor finishes are already finish-sorted, so
-    // the chain uses them, while the (possibly unsorted) send-port
-    // releases contribute per-message bounds release + duration.
-    double chain = 0.0;
-    const std::vector<const EdgeRef*>& preds = sorted_preds(v);
-    for (std::size_t i = 0; i < preds.size(); ++i) {
-      const EdgeRef* e = preds[i];
-      const TaskPlacement& src = placements_[e->task];
-      if (src.proc == proc) {
-        arrival = std::max(arrival, src.finish);
-      } else {
-        const double duration =
-            platform_.comm_time(e->data, src.proc, proc);
-        chain = std::max(chain, src.finish) + duration;
-        arrival = std::max(arrival, releases_scratch_[i] + duration);
+    chain_scratch_.assign(np, 0.0);
+    double* const chain = chain_scratch_.data();
+    for (const PredRec& r : preds) {
+      const auto q = static_cast<std::size_t>(r.proc);
+      const double* const row = link_data_ + q * np;
+      const double f = r.finish;
+      const double rel = r.release;
+      const double saved_chain = chain[q];
+      const double saved_arr = arr[q];
+      for (std::size_t p = 0; p < np; ++p) {
+        const double d = r.data * row[p];
+        chain[p] = std::max(chain[p], f) + d;
+        arr[p] = std::max(arr[p], rel + d);
       }
+      chain[q] = saved_chain;
+      arr[q] = std::max(saved_arr, f);
     }
-    arrival = std::max(arrival, chain);
+    for (std::size_t p = 0; p < np; ++p) {
+      arr[p] = std::max(arr[p], chain[p]);
+    }
   } else {
-    for (const EdgeRef& e : graph_.predecessors(v)) {
-      const TaskPlacement& src = placements_[e.task];
-      double ready = src.finish;
-      if (src.proc != proc) {
-        ready += routing_ != nullptr
-                     ? e.data * routing_->distance(src.proc, proc)
-                     : platform_.comm_time(e.data, src.proc, proc);
+    const double* const table = routing_ != nullptr ? dist_data_ : link_data_;
+    for (const PredRec& r : preds) {
+      const auto q = static_cast<std::size_t>(r.proc);
+      const double* const row = table + q * np;
+      const double f = r.finish;
+      const double saved = arr[q];
+      for (std::size_t p = 0; p < np; ++p) {
+        arr[p] = std::max(arr[p], f + r.data * row[p]);
       }
-      arrival = std::max(arrival, ready);
+      arr[q] = std::max(saved, f);
     }
   }
-  // Tighten through the compute timeline: the task cannot start before
-  // the earliest compute slot at or after the arrival bound (next_fit is
-  // monotone in `ready`, so a lower bound on arrival gives a lower bound
-  // on the start).
-  const double exec = platform_.exec_time(graph_.weight(v), proc);
-  const double start =
-      compute_[static_cast<std::size_t>(proc)].next_fit(arrival, exec);
-  return start + exec;
+  // Keys are arrival + execution only; the compute-timeline tightening
+  // (next_fit on the arrival bound) is deferred to evaluate_best, which
+  // probes a candidate only when it actually reaches the front of the
+  // scan -- candidates pruned on the cheap key never pay for a probe.
+  const double w = weight_of(v);
+  bounds_scratch_.clear();
+  for (std::size_t p = 0; p < np; ++p) {
+    bounds_scratch_.emplace_back(arr[p] + w * cycle_data_[p],
+                                 static_cast<ProcId>(p));
+  }
 }
 
-Evaluation EftEngine::evaluate_best(TaskId v) const {
+const Evaluation& EftEngine::evaluate_best(TaskId v) const {
   // Evaluate candidates in ascending lower-bound order: the first
   // evaluation is then almost always the eventual winner, and every
   // candidate whose bound lies strictly beyond the winner's tolerance
@@ -231,22 +393,89 @@ Evaluation EftEngine::evaluate_best(TaskId v) const {
   // Caveat: the eps tolerance is not transitive, so in a chain of
   // pairwise-within-eps finishes (differences below 1e-7, never
   // observed from real inputs) the pick can depend on the bound order.
-  bounds_scratch_.clear();
-  for (ProcId p = 0; p < platform_.num_processors(); ++p) {
-    bounds_scratch_.emplace_back(finish_lower_bound(v, p), p);
-  }
+  //
+  // The order is the one an upfront-tightened scan would use -- keys
+  // tightened through the compute timeline (next_fit is monotone in
+  // `ready`, so tightening only raises a key) -- but tightening runs
+  // lazily.  Candidates sit in two pools: bounds_scratch_, sorted on the
+  // cheap arrival+exec key, and tight_scratch_, holding already-probed
+  // keys.  Whichever pool fronts the smaller (key, proc) pair acts: a
+  // cheap front is probed and moved to the tight pool (its cheap key
+  // lower-bounds every un-probed tight key, so nothing can precede it),
+  // a tight front is pruned or evaluated.  Tight pops therefore happen
+  // in exactly the upfront scan's order, and a candidate pruned on its
+  // cheap key alone (still a sound finish bound) never pays for a probe.
+  fill_bounds(v);
   std::sort(bounds_scratch_.begin(), bounds_scratch_.end());
+  tight_scratch_.clear();
+  const double w = weight_of(v);
+  const double inf = std::numeric_limits<double>::infinity();
 
-  Evaluation best;
-  Evaluation candidate;
-  for (const auto& [bound, p] : bounds_scratch_) {
+  Evaluation& best = best_scratch_;
+  Evaluation& candidate = cand_scratch_;
+  best.task = kInvalidTask;
+  best.proc = -1;
+  best.start = 0.0;
+  best.finish = 0.0;
+  best.comms.clear();
+  std::size_t i = 0;
+  const std::size_t n = bounds_scratch_.size();
+  while (i < n || !tight_scratch_.empty()) {
+    const bool take_cheap =
+        i < n &&
+        (tight_scratch_.empty() || bounds_scratch_[i] < tight_scratch_.back());
+    const auto [bound, p] =
+        take_cheap ? bounds_scratch_[i] : tight_scratch_.back();
     // A non-finite bound means a missing link: fall through so
     // evaluate_into reports it exactly as an exhaustive scan would.
+    //
+    // Two exact prune tests, both on sound lower bounds (true finish f
+    // >= bound).  Beyond the tolerance band (bound > best.finish + eps)
+    // the candidate can neither win nor eps-tie.  *Inside* the band a
+    // higher-id candidate is equally dead: f >= bound >= best.finish -
+    // eps rules out a strict win, and the eps-tie break needs the
+    // *smaller* id.  Either way the outcome equals evaluating the
+    // candidate and watching it lose, so the scan's result is unchanged.
     if (best.proc >= 0 && std::isfinite(bound) &&
-        bound > best.finish + kTimeEps) {
+        (bound > best.finish + kTimeEps ||
+         (p > best.proc && bound >= best.finish - kTimeEps))) {
+      prof::bump(prof::Counter::kPruneSkips);
+      if (take_cheap) {
+        ++i;
+      } else {
+        tight_scratch_.pop_back();
+      }
       continue;
     }
-    evaluate_into(v, p, candidate);
+    if (take_cheap) {
+      ++i;
+      // Probe from the raw arrival lane, not `bound - exec`: the
+      // round-trip through the sum is not bit-exact.
+      const double exec = w * cycle_data_[static_cast<std::size_t>(p)];
+      const double start = compute_[static_cast<std::size_t>(p)].next_fit(
+          arr_scratch_[static_cast<std::size_t>(p)], exec);
+      const std::pair<double, ProcId> key(start + exec, p);
+      tight_scratch_.insert(
+          std::upper_bound(tight_scratch_.begin(), tight_scratch_.end(), key,
+                           [](const std::pair<double, ProcId>& a,
+                              const std::pair<double, ProcId>& b) {
+                             return b < a;
+                           }),
+          key);
+      continue;
+    }
+    tight_scratch_.pop_back();
+    prof::bump(prof::Counter::kPruneEvals);
+    // Abandon the evaluation as soon as it provably cannot reach the
+    // (finish, proc) win test: a higher-id candidate must finish
+    // strictly below the band to win, a lower-id one may still take the
+    // eps-tie.  +inf (full evaluation) for the first candidate and for
+    // missing-link reporting.
+    evaluate_into(v, p, candidate,
+                  best.proc >= 0 && std::isfinite(bound)
+                      ? (p > best.proc ? best.finish - kTimeEps
+                                       : best.finish + kTimeEps)
+                      : inf);
     if (best.proc < 0 || candidate.finish < best.finish - kTimeEps ||
         (candidate.finish <= best.finish + kTimeEps &&
          candidate.proc < best.proc)) {
@@ -261,6 +490,7 @@ void EftEngine::commit(const Evaluation& eval) {
              "cannot commit an empty evaluation");
   OP_REQUIRE(!scheduled(eval.task),
              "task " << eval.task << " already scheduled");
+  prof::bump(prof::Counter::kEngineCommits);
   for (const CommDecision& c : eval.comms) {
     if (model_ == Model::kOnePort) {
       send_[static_cast<std::size_t>(c.from)].reserve(c.start, c.finish);
@@ -271,7 +501,7 @@ void EftEngine::commit(const Evaluation& eval) {
   compute_[static_cast<std::size_t>(eval.proc)].reserve(eval.start,
                                                         eval.finish);
   placements_[eval.task] = TaskPlacement{eval.proc, eval.start, eval.finish};
-  for (const EdgeRef& e : graph_.successors(eval.task)) {
+  for (const EdgeRef& e : succs_of(eval.task)) {
     OP_ASSERT(pending_preds_[e.task] > 0,
               "indegree counter underflow at task " << e.task);
     --pending_preds_[e.task];
@@ -279,14 +509,12 @@ void EftEngine::commit(const Evaluation& eval) {
 }
 
 Schedule EftEngine::build_schedule() const {
-  Schedule schedule(graph_.num_tasks());
   for (TaskId v = 0; v < graph_.num_tasks(); ++v) {
     OP_REQUIRE(placements_[v].placed(), "task " << v << " never scheduled");
-    schedule.place_task(v, placements_[v].proc, placements_[v].start,
-                        placements_[v].finish);
   }
-  for (const CommPlacement& c : comms_) schedule.add_comm(c);
-  return schedule;
+  // Bulk export through Schedule's arena constructor: one validated pass
+  // over each record store instead of a checked push_back per record.
+  return Schedule(placements_, comms_);
 }
 
 }  // namespace oneport

@@ -18,16 +18,32 @@
 // "assigns the new communications as early as possible, in a greedy
 // fashion", which this policy implements deterministically.
 //
+// Hot-path layout: the engine walks either the TaskGraph's pointer layout
+// or a TaskGraphSoA CSR view (graph/soa_view.hpp, selected by
+// default_graph_path() at construction), caches the raw link/cycle-time/
+// routing-distance arrays once, and folds each task's predecessors into
+// contiguous PredRec lanes -- (finish, data, release, task, proc) sorted
+// by data-ready time -- shared by every candidate-processor scan.  The
+// finish lower bounds for *all* processors are produced in one pass over
+// those lanes (per predecessor, one dense sweep across the processor
+// lanes followed by an exact restore of the predecessor's own lane),
+// which is bit-identical to the per-processor scalar recurrence because
+// each lane sees the same operations in the same order.
+//
 // Evaluation is allocation-free after warm-up: the engine keeps one
 // reusable overlay per processor and port direction, invalidated lazily
 // by an epoch counter bumped at the start of every evaluation, plus
-// scratch vectors for the predecessor ordering and routed paths.  The
-// scratch makes evaluate() non-reentrant: use one engine per thread.
+// scratch for the predecessor lanes, routed paths, candidate bounds and
+// the evaluate_best result itself (returned by reference).  The scratch
+// makes evaluate()/evaluate_best() non-reentrant: use one engine per
+// thread.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "graph/soa_view.hpp"
 #include "graph/task_graph.hpp"
 #include "platform/platform.hpp"
 #include "platform/routing.hpp"
@@ -62,7 +78,8 @@ class EftEngine {
   /// `routing` is optional (may be null): when provided, transfers between
   /// non-adjacent processors become store-and-forward chains along the
   /// routed path, each hop occupying its own pair of ports (the §4.3
-  /// extension).  The table must outlive the engine.
+  /// extension).  The table must outlive the engine, as must the graph
+  /// and the platform.
   EftEngine(const TaskGraph& graph, const Platform& platform, Model model,
             const RoutingTable* routing = nullptr);
 
@@ -75,8 +92,10 @@ class EftEngine {
   void evaluate_into(TaskId v, ProcId proc, Evaluation& out) const;
 
   /// Evaluates every processor and returns the one with the earliest
-  /// finish time (smallest processor id on ties).
-  [[nodiscard]] Evaluation evaluate_best(TaskId v) const;
+  /// finish time (smallest processor id on ties).  The reference points
+  /// into engine-owned scratch: it is valid until the next
+  /// evaluate_best() call on this engine (copy it to keep it longer).
+  [[nodiscard]] const Evaluation& evaluate_best(TaskId v) const;
 
   /// Makes an evaluation permanent: reserves timelines and records the
   /// placement.
@@ -96,6 +115,8 @@ class EftEngine {
   }
 
   /// Extracts the finished schedule; requires all tasks committed.
+  /// Bulk-exports the engine's arena-backed placement and comm records
+  /// through Schedule's vector constructor (no per-record push_back).
   [[nodiscard]] Schedule build_schedule() const;
 
   [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
@@ -103,18 +124,58 @@ class EftEngine {
     return platform_;
   }
   [[nodiscard]] Model model() const noexcept { return model_; }
+  /// Which adjacency layout this engine's hot loops traverse (fixed at
+  /// construction from default_graph_path()).
+  [[nodiscard]] GraphPath graph_path() const noexcept {
+    return soa_.has_value() ? GraphPath::kSoa : GraphPath::kPointer;
+  }
 
  private:
-  /// Cheap lower bound on evaluate(v, proc).finish: predecessor finish
-  /// plus minimum (routed) transfer time plus execution time, ignoring
-  /// port contention and compute gaps.  Used to prune dominated
-  /// candidates in evaluate_best without changing its result.
-  [[nodiscard]] double finish_lower_bound(TaskId v, ProcId proc) const;
+  /// One predecessor of the task under evaluation, flattened into the
+  /// lane layout the hot loops consume: committed finish time, edge data
+  /// volume, send-port release bound (one-port without routing only),
+  /// and the predecessor's identity.
+  struct PredRec {
+    double finish = 0.0;
+    double data = 0.0;
+    double release = 0.0;
+    TaskId task = kInvalidTask;
+    ProcId proc = -1;
+  };
 
-  /// Predecessors of `v` ordered by (finish asc, id asc), cached per
+  // Layout-dispatched adjacency reads (one predictable branch; the SoA
+  // lanes additionally skip TaskGraph's per-call bounds checks).
+  [[nodiscard]] std::span<const EdgeRef> preds_of(TaskId v) const {
+    return soa_ ? soa_->predecessors(v) : graph_.predecessors(v);
+  }
+  [[nodiscard]] std::span<const EdgeRef> succs_of(TaskId v) const {
+    return soa_ ? soa_->successors(v) : graph_.successors(v);
+  }
+  [[nodiscard]] double weight_of(TaskId v) const {
+    return soa_ ? soa_->weight(v) : graph_.weight(v);
+  }
+
+  /// Fills bounds_scratch_ with (finish lower bound, proc) for every
+  /// processor in one pass over the predecessor lanes; see the header
+  /// comment for the exactness argument.  Sound lower bounds on
+  /// evaluate(v, p).finish, used to prune dominated candidates in
+  /// evaluate_best without changing its result.  Leaves arr_scratch_
+  /// holding the per-processor arrival bounds so evaluate_best can
+  /// tighten individual keys through the compute timeline on demand.
+  void fill_bounds(TaskId v) const;
+
+  /// evaluate_into with an abandon threshold: once the partial message
+  /// arrival proves finish > cutoff, the scan stops early with `out`
+  /// holding only a (finish lower bound > cutoff, partial comms) stub.
+  /// Exact for pruning: such a candidate can neither win nor eps-tie.
+  /// Pass +inf (the public entry points do) to force a full evaluation.
+  void evaluate_into(TaskId v, ProcId proc, Evaluation& out,
+                     double cutoff) const;
+
+  /// Predecessor lanes of `v` ordered by (finish asc, id asc), cached per
   /// task: predecessor placements are immutable once committed, so the
   /// order is shared across the whole candidate-processor scan.
-  const std::vector<const EdgeRef*>& sorted_preds(TaskId v) const;
+  const std::vector<PredRec>& sorted_preds(TaskId v) const;
 
   /// Returns the per-processor scratch overlay for the current epoch,
   /// resetting it on first touch within this evaluation.
@@ -127,6 +188,11 @@ class EftEngine {
   const Platform& platform_;
   Model model_;
   const RoutingTable* routing_;
+  std::optional<TaskGraphSoA> soa_;  ///< built when the SoA path is active
+  std::size_t np_ = 0;               ///< processor count
+  const double* link_data_ = nullptr;   ///< row-major p x p link matrix
+  const double* cycle_data_ = nullptr;  ///< per-proc cycle times
+  const double* dist_data_ = nullptr;   ///< routed distances (null if none)
   std::vector<TaskPlacement> placements_;
   std::vector<CommPlacement> comms_;
   std::vector<TimelineIndex> compute_;  // per processor
@@ -142,13 +208,21 @@ class EftEngine {
   mutable std::vector<TimelineOverlay> recv_overlays_;
   mutable std::vector<std::uint64_t> send_epochs_;
   mutable std::vector<std::uint64_t> recv_epochs_;
-  mutable std::vector<const EdgeRef*> preds_scratch_;
-  mutable TaskId preds_task_ = kInvalidTask;  ///< task preds_scratch_ is for
-  /// Earliest send-port fit per entry of preds_scratch_ (one-port without
-  /// routing only); see sorted_preds().
-  mutable std::vector<double> releases_scratch_;
+  mutable std::vector<PredRec> preds_;
+  mutable TaskId preds_task_ = kInvalidTask;  ///< task preds_ is for
   mutable std::vector<ProcId> path_scratch_;
   mutable std::vector<std::pair<double, ProcId>> bounds_scratch_;
+  /// Probed (timeline-tightened) candidate keys, descending, so the
+  /// current global minimum sits at the back; see evaluate_best.
+  mutable std::vector<std::pair<double, ProcId>> tight_scratch_;
+  mutable std::vector<double> chain_scratch_;  ///< per-proc ERD chain lane
+  mutable std::vector<double> arr_scratch_;    ///< per-proc arrival lane
+  mutable Evaluation best_scratch_;  ///< evaluate_best result storage
+  mutable Evaluation cand_scratch_;
+  /// Tentative receive-port reservations for the overlay-free fast path
+  /// in evaluate_into, kept sorted by start exactly like the extras of a
+  /// TimelineOverlay over the candidate processor's receive port.
+  mutable std::vector<Interval> recv_extras_;
   std::vector<double> min_out_link_;  ///< per proc: min outgoing link cost
 };
 

@@ -14,11 +14,11 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
   const std::vector<double> bl = averaged_bottom_levels(graph, platform);
   EftEngine engine(graph, platform, options.model, options.routing);
 
-  // Ready list kept sorted by priority with the highest bottom level at
-  // the *back*, so dequeuing is an O(1) pop instead of an O(n) front
-  // erase.  A sorted vector beats a heap here: insertions are rare
-  // relative to the scans the engine performs, and determinism is
-  // trivial to audit.
+  // Ready queue as a binary max-heap on the priority order.  The order
+  // is strict and total (bottom level, then task id), so every structure
+  // that extracts the current maximum dequeues the exact same sequence;
+  // the heap just does it in O(log n) instead of the O(n) memmove a
+  // sorted vector pays per insertion.
   const PriorityOrder higher_priority{&bl};
   const auto lower_priority = [&higher_priority](TaskId a, TaskId b) {
     return higher_priority(b, a);
@@ -27,10 +27,11 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
   for (TaskId v = 0; v < graph.num_tasks(); ++v) {
     if (engine.ready(v)) ready.push_back(v);
   }
-  std::sort(ready.begin(), ready.end(), lower_priority);
+  std::make_heap(ready.begin(), ready.end(), lower_priority);
 
   std::size_t scheduled = 0;
   while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), lower_priority);
     const TaskId v = ready.back();
     ready.pop_back();
     engine.commit(engine.evaluate_best(v));
@@ -39,9 +40,8 @@ Schedule heft(const TaskGraph& graph, const Platform& platform,
     // is ready exactly when its last predecessor was just committed.
     for (const EdgeRef& e : graph.successors(v)) {
       if (engine.ready(e.task)) {
-        const auto pos = std::lower_bound(ready.begin(), ready.end(), e.task,
-                                          lower_priority);
-        ready.insert(pos, e.task);
+        ready.push_back(e.task);
+        std::push_heap(ready.begin(), ready.end(), lower_priority);
       }
     }
   }

@@ -53,17 +53,23 @@ Schedule ilha(const TaskGraph& graph, const Platform& platform,
 
   const std::vector<double> bl = averaged_bottom_levels(graph, platform);
   const PriorityOrder higher_priority{&bl};
+  const auto lower_priority = [&higher_priority](TaskId a, TaskId b) {
+    return higher_priority(b, a);
+  };
   EftEngine engine(graph, platform, options.model, options.routing);
 
   const std::vector<double> fractions = balanced_fractions(platform);
 
+  // The ready list is kept sorted with the *highest* priority at the
+  // back, so carving off a chunk is a suffix copy plus an O(1) resize
+  // instead of an O(n) front erase per chunk.
   std::vector<TaskId> ready;
   std::vector<std::size_t> waiting(graph.num_tasks());
   for (TaskId v = 0; v < graph.num_tasks(); ++v) {
     waiting[v] = graph.in_degree(v);
     if (waiting[v] == 0) ready.push_back(v);
   }
-  std::sort(ready.begin(), ready.end(), higher_priority);
+  std::sort(ready.begin(), ready.end(), lower_priority);
 
   std::vector<TaskId> newly_ready;
   std::size_t scheduled_total = 0;
@@ -71,12 +77,17 @@ Schedule ilha(const TaskGraph& graph, const Platform& platform,
   const auto nproc = static_cast<std::size_t>(platform.num_processors());
   std::vector<double> load(nproc);
   std::vector<double> quota(nproc);
+  // Hoisted per-chunk scratch: the evaluation recycles its comms
+  // capacity across commits, the vectors theirs across chunks.
+  Evaluation scratch;
+  std::vector<TaskId> chunk;
+  std::vector<TaskId> merged;
+  std::vector<bool> assigned;
 
   while (!ready.empty()) {
     const std::size_t take = std::min(chunk_size, ready.size());
-    std::vector<TaskId> chunk(ready.begin(),
-                              ready.begin() + static_cast<long>(take));
-    ready.erase(ready.begin(), ready.begin() + static_cast<long>(take));
+    chunk.assign(ready.rbegin(), ready.rbegin() + static_cast<long>(take));
+    ready.resize(ready.size() - take);
 
     // Load-balancing quota for this chunk: processor i may take up to
     // c_i * W of the chunk's total weight W.
@@ -91,10 +102,11 @@ Schedule ilha(const TaskGraph& graph, const Platform& platform,
       return load[i] + graph.weight(v) <= quota[i] + 1e-9 * (1.0 + quota[i]);
     };
 
-    std::vector<bool> assigned(chunk.size(), false);
+    assigned.assign(chunk.size(), false);
     auto commit_on = [&](std::size_t idx, ProcId p) {
       const TaskId v = chunk[idx];
-      engine.commit(engine.evaluate(v, p));
+      engine.evaluate_into(v, p, scratch);
+      engine.commit(scratch);
       load[static_cast<std::size_t>(p)] += graph.weight(v);
       assigned[idx] = true;
       ++scheduled_total;
@@ -120,10 +132,10 @@ Schedule ilha(const TaskGraph& graph, const Platform& platform,
         Evaluation best;
         for (const ProcId p : procs) {
           if (!fits_quota(p, v)) continue;
-          Evaluation cand = engine.evaluate(v, p);
-          if (best.proc < 0 || cand.finish < best.finish - kTimeEps ||
-              (cand.finish < best.finish + kTimeEps && p < best.proc)) {
-            best = std::move(cand);
+          engine.evaluate_into(v, p, scratch);
+          if (best.proc < 0 || scratch.finish < best.finish - kTimeEps ||
+              (scratch.finish < best.finish + kTimeEps && p < best.proc)) {
+            std::swap(best, scratch);
           }
         }
         if (best.proc >= 0) {
@@ -147,9 +159,9 @@ Schedule ilha(const TaskGraph& graph, const Platform& platform,
         Evaluation best;
         for (ProcId p = 0; p < platform.num_processors(); ++p) {
           if (!fits_quota(p, v)) continue;
-          Evaluation cand = engine.evaluate(v, p);
-          if (best.proc < 0 || cand.finish < best.finish - kTimeEps) {
-            best = std::move(cand);
+          engine.evaluate_into(v, p, scratch);
+          if (best.proc < 0 || scratch.finish < best.finish - kTimeEps) {
+            std::swap(best, scratch);
           }
         }
         // All processors saturated: fall back to the unrestricted rule so
@@ -169,13 +181,13 @@ Schedule ilha(const TaskGraph& graph, const Platform& platform,
         if (--waiting[e.task] == 0) newly_ready.push_back(e.task);
       }
     }
-    std::sort(newly_ready.begin(), newly_ready.end(), higher_priority);
-    std::vector<TaskId> merged;
+    std::sort(newly_ready.begin(), newly_ready.end(), lower_priority);
+    merged.clear();
     merged.reserve(ready.size() + newly_ready.size());
     std::merge(ready.begin(), ready.end(), newly_ready.begin(),
                newly_ready.end(), std::back_inserter(merged),
-               higher_priority);
-    ready = std::move(merged);
+               lower_priority);
+    std::swap(ready, merged);
   }
 
   OP_ASSERT(scheduled_total == graph.num_tasks(),
@@ -217,14 +229,21 @@ Schedule reschedule_fixed_allocation(const TaskGraph& graph,
   }
   std::sort(ready.begin(), ready.end(), higher_priority);
 
-  while (!ready.empty()) {
-    const TaskId v = ready.front();
-    ready.erase(ready.begin());
-    engine.commit(engine.evaluate(v, allocation[v]));
+  // Consume through a cursor instead of erasing the front (that memmove
+  // turns the loop quadratic); released tasks insert by priority into the
+  // unconsumed suffix, which holds exactly the tasks a front-erasing list
+  // would hold, so the commit order is identical.
+  Evaluation scratch;
+  std::size_t cursor = 0;
+  while (cursor < ready.size()) {
+    const TaskId v = ready[cursor++];
+    engine.evaluate_into(v, allocation[v], scratch);
+    engine.commit(scratch);
     for (const EdgeRef& e : graph.successors(v)) {
       if (--waiting[e.task] == 0) {
-        const auto pos = std::lower_bound(ready.begin(), ready.end(), e.task,
-                                          higher_priority);
+        const auto pos = std::lower_bound(
+            ready.begin() + static_cast<std::ptrdiff_t>(cursor), ready.end(),
+            e.task, higher_priority);
         ready.insert(pos, e.task);
       }
     }

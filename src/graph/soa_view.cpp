@@ -1,0 +1,74 @@
+#include "graph/soa_view.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace oneport {
+
+TaskGraphSoA::TaskGraphSoA(const TaskGraph& graph) {
+  OP_REQUIRE(graph.finalized(), "graph must be finalized");
+  const std::size_t n = graph.num_tasks();
+  weights_.reserve(n);
+  indegree_.reserve(n);
+  succ_off_.reserve(n + 1);
+  pred_off_.reserve(n + 1);
+  succ_edges_.reserve(graph.num_edges());
+  pred_edges_.reserve(graph.num_edges());
+  succ_off_.push_back(0);
+  pred_off_.push_back(0);
+  for (TaskId v = 0; v < n; ++v) {
+    weights_.push_back(graph.weight(v));
+    const std::span<const EdgeRef> succ = graph.successors(v);
+    const std::span<const EdgeRef> pred = graph.predecessors(v);
+    indegree_.push_back(static_cast<std::uint32_t>(pred.size()));
+    succ_edges_.insert(succ_edges_.end(), succ.begin(), succ.end());
+    pred_edges_.insert(pred_edges_.end(), pred.begin(), pred.end());
+    succ_off_.push_back(succ_edges_.size());
+    pred_off_.push_back(pred_edges_.size());
+  }
+}
+
+// ------------------------------------------------ hot-path selection
+
+namespace {
+
+GraphPath path_from_env() {
+  const char* env = std::getenv("ONEPORT_GRAPH");
+  if (env != nullptr) {
+    if (std::strcmp(env, "pointer") == 0) return GraphPath::kPointer;
+    if (std::strcmp(env, "soa") == 0) return GraphPath::kSoa;
+    // Mirror the ONEPORT_TIMELINE policy: a typo silently selecting the
+    // default would invalidate differential runs, so be loud (but do not
+    // throw from a static initializer).
+    std::fprintf(stderr,
+                 "oneport: ignoring unknown ONEPORT_GRAPH value '%s' "
+                 "(expected 'pointer' or 'soa'); using soa\n",
+                 env);
+  }
+  return GraphPath::kSoa;
+}
+
+std::atomic<GraphPath>& default_path_slot() noexcept {
+  static std::atomic<GraphPath> slot{path_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+GraphPath default_graph_path() noexcept {
+  return default_path_slot().load(std::memory_order_relaxed);
+}
+
+void set_default_graph_path(GraphPath path) noexcept {
+  default_path_slot().store(path, std::memory_order_relaxed);
+}
+
+const char* graph_path_name(GraphPath path) noexcept {
+  return path == GraphPath::kPointer ? "pointer" : "soa";
+}
+
+}  // namespace oneport

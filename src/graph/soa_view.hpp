@@ -1,0 +1,103 @@
+// Structure-of-arrays view of a finalized TaskGraph.
+//
+// TaskGraph stores adjacency as vector<vector<EdgeRef>>: every
+// successors()/predecessors() call chases a per-node heap block, and the
+// EFT engine performs those lookups millions of times per schedule.
+// TaskGraphSoA repacks the same data into CSR lanes -- one flat edge
+// arena per direction plus (n+1) offsets -- alongside contiguous
+// compute-cost and indegree arrays, so the hot loops walk indices over
+// dense memory with no bounds checks and no per-node indirection.
+//
+// The view preserves edge order exactly as the source graph stores it
+// (per-node insertion order), so an engine iterating the SoA lanes makes
+// bit-identical decisions to one iterating the pointer layout; the
+// differential property sweep pins that equivalence.
+//
+// Which layout the engine walks is a process-wide knob mirroring the
+// timeline-impl selection: default_graph_path(), overridable with
+// set_default_graph_path() or the ONEPORT_GRAPH environment variable
+// ("pointer" or "soa"; soa is the default).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace oneport {
+
+class TaskGraphSoA {
+ public:
+  /// Builds the compact view; requires graph.finalized().  O(V + E).
+  /// The view copies everything it needs -- it does not alias the graph
+  /// and stays valid independently of it.
+  explicit TaskGraphSoA(const TaskGraph& graph);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return succ_edges_.size();
+  }
+
+  /// Unchecked contiguous lanes; `v` must be a valid task id.
+  [[nodiscard]] double weight(TaskId v) const noexcept { return weights_[v]; }
+  [[nodiscard]] std::uint32_t in_degree(TaskId v) const noexcept {
+    return indegree_[v];
+  }
+  [[nodiscard]] std::span<const EdgeRef> successors(TaskId v) const noexcept {
+    return {succ_edges_.data() + succ_off_[v], succ_off_[v + 1] - succ_off_[v]};
+  }
+  [[nodiscard]] std::span<const EdgeRef> predecessors(
+      TaskId v) const noexcept {
+    return {pred_edges_.data() + pred_off_[v], pred_off_[v + 1] - pred_off_[v]};
+  }
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& indegrees() const noexcept {
+    return indegree_;
+  }
+
+ private:
+  std::vector<double> weights_;          // contiguous compute cost
+  std::vector<std::uint32_t> indegree_;  // seed for ready counters
+  std::vector<std::size_t> succ_off_;    // CSR offsets, size n+1
+  std::vector<std::size_t> pred_off_;
+  std::vector<EdgeRef> succ_edges_;      // flat edge arenas
+  std::vector<EdgeRef> pred_edges_;
+};
+
+// ------------------------------------------------ hot-path selection
+
+/// Which adjacency layout the EFT engine's hot loops traverse.
+enum class GraphPath {
+  kPointer,  ///< TaskGraph's vector-of-vectors + checked accessors
+  kSoa,      ///< TaskGraphSoA CSR lanes + unchecked platform reads
+};
+
+/// Process-wide default used when an EftEngine is constructed.
+/// Initialized once from the ONEPORT_GRAPH environment variable
+/// ("pointer" or "soa"); kSoa when unset.
+[[nodiscard]] GraphPath default_graph_path() noexcept;
+void set_default_graph_path(GraphPath path) noexcept;
+[[nodiscard]] const char* graph_path_name(GraphPath path) noexcept;
+
+/// RAII override of the process-wide default, for differential tests and
+/// benchmarks running both layouts side by side.
+class ScopedGraphPath {
+ public:
+  explicit ScopedGraphPath(GraphPath path) : previous_(default_graph_path()) {
+    set_default_graph_path(path);
+  }
+  ~ScopedGraphPath() { set_default_graph_path(previous_); }
+  ScopedGraphPath(const ScopedGraphPath&) = delete;
+  ScopedGraphPath& operator=(const ScopedGraphPath&) = delete;
+
+ private:
+  GraphPath previous_;
+};
+
+}  // namespace oneport

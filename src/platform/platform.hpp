@@ -46,6 +46,11 @@ class Platform {
     return link_(static_cast<std::size_t>(from),
                  static_cast<std::size_t>(to));
   }
+  /// The full p x p link matrix, for hot loops that validate processor
+  /// ids once and then read rows unchecked via Matrix::data().
+  [[nodiscard]] const Matrix<double>& link_matrix() const noexcept {
+    return link_;
+  }
 
   /// Execution time of a task of weight w on processor p.
   [[nodiscard]] double exec_time(double weight, ProcId p) const {

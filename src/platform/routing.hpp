@@ -134,6 +134,12 @@ class RoutingTable {
 
   [[nodiscard]] int num_processors() const noexcept { return p_; }
 
+  /// The full p x p per-item distance table, for hot loops that validate
+  /// processor ids once and then read rows unchecked via Matrix::data().
+  [[nodiscard]] const Matrix<double>& distances() const noexcept {
+    return dist_;
+  }
+
  private:
   RoutingTable(int p, Matrix<double> dist, Matrix<int> next)
       : p_(p), dist_(std::move(dist)), next_(std::move(next)) {}

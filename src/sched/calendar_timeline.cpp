@@ -1,0 +1,245 @@
+#include "sched/calendar_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/profiler.hpp"
+
+namespace oneport {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Buckets narrower than this would make the eps-overhang bookkeeping
+/// meaningless (and explode the bucket count); rebuilds clamp to it.
+constexpr double kMinWidth = 16.0 * kTimeEps;
+
+/// Initial bucket count for a fresh timeline.
+constexpr std::size_t kInitialBuckets = 64;
+
+}  // namespace
+
+std::size_t CalendarTimeline::bucket_of(double t) const noexcept {
+  if (t <= origin_) return 0;
+  const double idx = (t - origin_) / width_;
+  const auto last = buckets_.size() - 1;
+  if (idx >= static_cast<double>(last)) return last;
+  return static_cast<std::size_t>(idx);
+}
+
+void CalendarTimeline::clear() noexcept {
+  buckets_.clear();
+  origin_ = 0.0;
+  width_ = 1.0;
+  count_ = 0;
+  horizon_ = 0.0;
+  lowest_ = 0.0;
+}
+
+void CalendarTimeline::insert_run(double ns, double ne) {
+  double s = ns;
+  while (true) {
+    std::size_t b = bucket_of(s);
+    double hi = origin_ + width_ * static_cast<double>(b + 1);
+    // Starting within kTimeEps of the right boundary would create a
+    // degenerate-width piece; let the piece "underhang" the next bucket
+    // instead (scans start one bucket early precisely for this).
+    if (hi - s <= kTimeEps && b + 1 < buckets_.size()) {
+      ++b;
+      hi += width_;
+    }
+    // A tail within kTimeEps past the boundary stays in this bucket as a
+    // harmless overhang rather than a degenerate continuation piece.
+    const bool last = ne <= hi + kTimeEps || b + 1 == buckets_.size();
+    const double e = last ? ne : hi;
+    std::vector<Interval>& bucket = buckets_[b];
+    const auto pos = std::upper_bound(
+        bucket.begin(), bucket.end(), s,
+        [](double t, const Interval& seg) { return t < seg.start; });
+    if (pos != bucket.begin() && (pos - 1)->end >= s - kTimeEps) {
+      // Exactly-touching predecessor (the snapped back-to-back append
+      // path): extend in place, no shift, no new segment.
+      (pos - 1)->end = e;
+    } else {
+      const auto shifted = static_cast<std::size_t>(bucket.end() - pos);
+      stats_.shifted_segments += shifted;
+      prof::bump(prof::Counter::kCalendarShifts, shifted);
+      bucket.insert(pos, Interval{s, e});
+      ++count_;
+    }
+    if (last) break;
+    s = e;
+  }
+  horizon_ = std::max(horizon_, ne);
+  lowest_ = std::min(lowest_, ns);
+}
+
+void CalendarTimeline::rebuild(double lo, double hi) {
+  ++stats_.rebuilds;
+  prof::bump(prof::Counter::kCalendarRebuilds);
+  // Re-merge the clipped pieces into whole runs; exact-touch merging
+  // reproduces the genuine run endpoints (distinct runs are always
+  // separated by more than kTimeEps, see reserve()).
+  std::vector<Interval> runs = busy_intervals();
+  stats_.shifted_segments += count_;
+  prof::bump(prof::Counter::kCalendarShifts, count_);
+  if (!runs.empty()) {
+    lo = std::min(lo, runs.front().start);
+    hi = std::max(hi, runs.back().end);
+  }
+  double span = hi - lo;
+  if (!(span > 0.0)) span = 1.0;
+  // Target ~0.5 runs per bucket with 50% headroom above the current
+  // horizon so steady appends do not immediately re-trigger a rebuild.
+  const std::size_t nb =
+      std::max(kInitialBuckets, 2 * std::max<std::size_t>(runs.size(), 1));
+  width_ = std::max(span * 1.5 / static_cast<double>(nb), kMinWidth);
+  origin_ = lo;
+  const double need = span * 1.5 / width_;
+  buckets_.assign(static_cast<std::size_t>(need) + 2,
+                  std::vector<Interval>{});
+  count_ = 0;
+  for (const Interval& run : runs) insert_run(run.start, run.end);
+}
+
+void CalendarTimeline::reserve(double start, double end) {
+  OP_REQUIRE(end >= start - kTimeEps, "interval end before start");
+  const Interval iv{start, end};
+  if (iv.degenerate()) return;
+  if (buckets_.empty()) {
+    origin_ = start;
+    width_ = std::max(end - start, kMinWidth);
+    buckets_.assign(kInitialBuckets, std::vector<Interval>{});
+    lowest_ = start;
+  }
+  if (start < origin_) {
+    rebuild(start, std::max(horizon_, end));
+  }
+  if (end > top()) {
+    const double need = (end - origin_) / width_;
+    const auto needed = static_cast<std::size_t>(need) + 2;
+    // Growing by appending empty buckets is O(1) amortized, but a
+    // timeline whose width was calibrated for a much smaller span would
+    // accumulate arbitrarily many empty buckets; rescale instead once
+    // the array gets far sparser than the segment count justifies.
+    if (needed > std::max<std::size_t>(1024, 16 * (count_ + 1))) {
+      rebuild(std::min(lowest_, start), end);
+    } else {
+      buckets_.resize(needed);
+    }
+  }
+  // One pass over the buckets the slot (plus tolerance) touches:
+  // conflict-check against every stored piece and find the neighboring
+  // run endpoints within kTimeEps for the reference-equivalent
+  // touching-neighbor merge.
+  double prev_end = -kInf;
+  double next_start = kInf;
+  const std::size_t b1 = bucket_of(end + kTimeEps);
+  for (std::size_t b = bucket_of(start - kTimeEps);
+       b <= b1 && next_start == kInf; ++b) {
+    for (const Interval& seg : buckets_[b]) {
+      if (seg.end <= start + kTimeEps) {
+        prev_end = seg.end;  // scan order keeps ends non-decreasing
+        continue;
+      }
+      if (seg.start >= end - kTimeEps) {
+        next_start = seg.start;
+        break;
+      }
+      OP_ASSERT(!overlaps(seg, iv),
+                "reservation [" << start << "," << end << ") overlaps ["
+                                << seg.start << "," << seg.end << ")");
+    }
+  }
+  // Snap to neighbors within tolerance: sub-eps gaps fill exactly like
+  // the reference's merge, and a tolerated sub-eps overlap trims to the
+  // uncovered remainder.  Distinct runs therefore always stay more than
+  // kTimeEps apart, which busy_intervals() and rebuild() rely on.
+  double ns = start;
+  double ne = end;
+  if (prev_end >= start - kTimeEps) ns = prev_end;
+  if (next_start <= end + kTimeEps) ne = next_start;
+  ++stats_.inserts;
+  if (ne > ns) insert_run(ns, ne);
+  // Density trigger: too many segments per bucket degrades the in-bucket
+  // shifts; rebuild with a bucket count matched to the run count.
+  if (count_ > 8 * buckets_.size()) {
+    rebuild(lowest_, std::max(horizon_, top()));
+  }
+}
+
+double CalendarTimeline::next_fit(double ready, double duration) const {
+  OP_REQUIRE(duration >= 0.0, "duration must be non-negative");
+  if (duration <= kTimeEps) return ready;
+  // O(1) fast path shared with the other implementations: at or beyond
+  // the horizon (within tolerance) the slot starts at `ready`.
+  if (count_ == 0 || ready >= horizon_ - kTimeEps) return ready;
+  double candidate = ready;
+  // Start one bucket early to catch eps-underhang pieces; pieces in even
+  // earlier buckets end at most kTimeEps past their bucket and can never
+  // block a candidate at or beyond this bucket's start.
+  for (std::size_t b = bucket_of(candidate - kTimeEps); b < buckets_.size();
+       ++b) {
+    for (const Interval& seg : buckets_[b]) {
+      if (seg.end <= candidate + kTimeEps) continue;
+      if (candidate + duration <= seg.start + kTimeEps) return candidate;
+      candidate = seg.end;
+    }
+  }
+  return candidate;
+}
+
+bool CalendarTimeline::is_free(double start, double end) const {
+  const Interval iv{start, end};
+  if (iv.degenerate() || count_ == 0) return true;
+  const std::size_t b1 = bucket_of(end + kTimeEps);
+  for (std::size_t b = bucket_of(start - kTimeEps); b <= b1; ++b) {
+    for (const Interval& seg : buckets_[b]) {
+      if (seg.end <= start + kTimeEps) continue;
+      if (seg.start >= end - kTimeEps) return true;
+      if (overlaps(seg, iv)) return false;
+    }
+  }
+  return true;
+}
+
+double CalendarTimeline::busy_time() const noexcept {
+  // Sum whole runs, not pieces: the run endpoints equal the reference's
+  // merged-interval endpoints, so the totals match bit for bit.
+  double total = 0.0;
+  double run_start = 0.0;
+  double run_end = -kInf;
+  for (const std::vector<Interval>& bucket : buckets_) {
+    for (const Interval& seg : bucket) {
+      if (seg.start <= run_end + kTimeEps) {
+        run_end = std::max(run_end, seg.end);
+      } else {
+        if (run_end > -kInf) total += run_end - run_start;
+        run_start = seg.start;
+        run_end = seg.end;
+      }
+    }
+  }
+  if (run_end > -kInf) total += run_end - run_start;
+  return total;
+}
+
+std::vector<Interval> CalendarTimeline::busy_intervals() const {
+  std::vector<Interval> busy;
+  busy.reserve(count_);
+  for (const std::vector<Interval>& bucket : buckets_) {
+    for (const Interval& seg : bucket) {
+      if (!busy.empty() && seg.start <= busy.back().end + kTimeEps) {
+        busy.back().end = std::max(busy.back().end, seg.end);
+      } else {
+        busy.push_back(seg);
+      }
+    }
+  }
+  return busy;
+}
+
+}  // namespace oneport

@@ -6,6 +6,22 @@
 
 namespace oneport {
 
+Schedule::Schedule(std::vector<TaskPlacement> tasks,
+                   std::vector<CommPlacement> comms)
+    : tasks_(std::move(tasks)), comms_(std::move(comms)) {
+  for (const TaskPlacement& t : tasks_) {
+    if (!t.placed()) continue;
+    OP_REQUIRE(t.finish >= t.start, "task finish before start");
+  }
+  for (const CommPlacement& c : comms_) {
+    OP_REQUIRE(c.src < tasks_.size() && c.dst < tasks_.size(),
+               "comm endpoints out of range");
+    OP_REQUIRE(c.from >= 0 && c.to >= 0 && c.from != c.to,
+               "comm must connect two distinct processors");
+    OP_REQUIRE(c.finish >= c.start, "comm finish before start");
+  }
+}
+
 void Schedule::place_task(TaskId v, ProcId proc, double start, double finish) {
   OP_REQUIRE(v < tasks_.size(), "task id out of range");
   OP_REQUIRE(proc >= 0, "processor id must be non-negative");

@@ -39,6 +39,12 @@ class Schedule {
   Schedule() = default;
   explicit Schedule(std::size_t num_tasks) : tasks_(num_tasks) {}
 
+  /// Bulk construction from an engine's arena-backed record store: adopts
+  /// both vectors wholesale (no per-record push_back) and validates each
+  /// record with the same rules place_task/add_comm enforce, in one pass.
+  /// Unplaced tasks are allowed, as with the incremental path.
+  Schedule(std::vector<TaskPlacement> tasks, std::vector<CommPlacement> comms);
+
   [[nodiscard]] std::size_t num_tasks() const noexcept {
     return tasks_.size();
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -96,42 +97,52 @@ double Timeline::busy_time() const noexcept {
 // ----------------------------------------------- gap-indexed timeline
 
 std::size_t GapTimeline::gap_ending_after(double t) const {
-  // Cursor probe: list scheduling's next_fit/reserve pairs keep landing
-  // in the same gap, and the joint-fit search for one-port messages
-  // advances gap by gap, so probing the hinted gap and its successor
-  // makes both common cases O(1).  A probe at index i is valid when
-  // gaps_[i] ends after `t` and its predecessor does not.
-  if (hint_ < gaps_.size() && gaps_[hint_].end > t + kTimeEps) {
-    if (hint_ == 0 || gaps_[hint_ - 1].end <= t + kTimeEps) return hint_;
-  } else if (hint_ + 1 < gaps_.size() && gaps_[hint_ + 1].end > t + kTimeEps) {
-    return ++hint_;  // the predecessor check is the branch we came from
-  }
-  // Gallop backwards from the +inf sentinel gap: list scheduling queries
-  // cluster near the growing end of the timeline, so the boundary is
-  // typically a handful of gaps from the back and the search costs
-  // O(log distance-from-end) instead of O(log gaps).
+  // The wanted index is the partition point of "gap end <= bound" (gap
+  // ends are strictly increasing).  Successive probes of one timeline
+  // cluster tightly -- list scheduling's next_fit/reserve pairs land in
+  // the same gap, the joint-fit search advances gap by gap, and
+  // consecutive tasks arrive near the same frontier -- so gallop
+  // *outward from the hinted position* and pay O(log distance-from-hint)
+  // cache-local probes (over the dense ends array) instead of restarting
+  // from the sentinel end.
   const double bound = t + kTimeEps;
-  const std::size_t last = gaps_.size() - 1;  // always ends after t (+inf)
-  std::size_t lo = 0;
-  std::size_t w = 1;
-  while (w <= last && gaps_[last - w].end > bound) w <<= 1;
-  if (w <= last) lo = last - w + 1;
-  const std::size_t up = last - (w >> 1);  // last failed probe, if any
-  const auto it = std::partition_point(
-      gaps_.begin() + static_cast<std::ptrdiff_t>(lo),
-      gaps_.begin() + static_cast<std::ptrdiff_t>(up + 1),
-      [bound](const Interval& g) { return g.end <= bound; });
-  hint_ = static_cast<std::size_t>(it - gaps_.begin());
+  const double* const ends = gap_ends_.data();
+  const std::size_t n = gap_ends_.size();
+  const std::size_t h = hint_ < n ? hint_ : n - 1;
+  std::size_t lo;       // first index that might end after `bound`
+  std::size_t up_incl;  // an index known to end after `bound`
+  if (ends[h] > bound) {
+    if (h == 0 || ends[h - 1] <= bound) return hint_ = h;
+    // Target lies left of the hint.
+    std::size_t w = 1;
+    while (w <= h && ends[h - w] > bound) w <<= 1;
+    lo = w <= h ? h - w + 1 : 0;
+    up_incl = h - (w >> 1);
+  } else {
+    // Target lies right of the hint; the +inf sentinel bounds the
+    // gallop, so the last probe always ends after `bound`.
+    std::size_t w = 1;
+    while (h + w < n - 1 && ends[h + w] <= bound) w <<= 1;
+    lo = h + (w >> 1) + 1;
+    up_incl = h + w < n - 1 ? h + w : n - 1;
+  }
+  const double* const it =
+      std::partition_point(ends + lo, ends + up_incl + 1,
+                           [bound](double e) { return e <= bound; });
+  hint_ = static_cast<std::size_t>(it - ends);
   return hint_;
 }
 
 namespace {
 
-/// A gap-splitting reservation this far from the back of the gap list is
-/// buffered instead of middle-inserted; near-back inserts are short
-/// memmoves and stay direct so the append-heavy list-scheduling path
-/// never touches the buffer.
-constexpr std::size_t kDeferTail = 32;
+/// A gap-splitting reservation closer than this to the back of the gap
+/// list is always middle-inserted directly; the memmove is short and the
+/// append-heavy list-scheduling path never touches the buffer.  Beyond
+/// it, deferral kicks in once the tail outgrows ~8*sqrt(gaps) (see
+/// reserve), keeping the amortized middle-insert cost O(sqrt(n)) while
+/// long timelines -- whose interior splits cluster near the frontier --
+/// still take the direct path almost always.
+constexpr std::size_t kDeferTailMin = 32;
 /// Minimum buffered count before a compaction is even considered: tiny
 /// timelines gain nothing from deferral bookkeeping.
 constexpr std::size_t kMinFlush = 16;
@@ -141,48 +152,86 @@ constexpr std::size_t kMinFlush = 16;
 double GapTimeline::next_fit(double ready, double duration) const {
   OP_REQUIRE(duration >= 0.0, "duration must be non-negative");
   if (duration <= kTimeEps) return ready;
-  if (gaps_.empty()) return ready;
+  if (gap_starts_.empty()) return ready;
   // O(1) fast path for the dominant list-scheduling pattern: a slot at or
   // beyond the horizon (within tolerance) always starts at `ready` inside
   // the +inf sentinel gap.  Deferred reservations always end strictly
   // before the horizon (they split interior gaps), so they cannot block
   // this path.
-  if (ready >= gaps_.back().start - kTimeEps) return ready;
+  if (ready >= gap_starts_.back() - kTimeEps) return ready;
   double candidate = ready;
   while (true) {
     // Walk the materialized gaps from the candidate.
     double fit = candidate;
-    bool found = candidate >= gaps_.back().start - kTimeEps;
+    bool found = candidate >= gap_starts_.back() - kTimeEps;
+    if (!found && duration > widest_interior_ + kTimeEps &&
+        candidate >= gap_ends_.front() - kTimeEps) {
+      // O(1) horizon jump, no gap search: the candidate lies past the
+      // -inf head gap, so every gap it could use short of the +inf
+      // sentinel has two finite endpoints and width at most
+      // widest_interior_ < duration -- including the usable tail of the
+      // gap holding the candidate itself.  The walk below would fall
+      // through to the sentinel and return exactly the horizon.
+      fit = gap_starts_.back();
+      found = true;
+    }
     if (!found) {
-      for (std::size_t i = gap_ending_after(candidate); i < gaps_.size();
-           ++i) {
-        const Interval& g = gaps_[i];
-        // `candidate` counts as inside the gap when it is at most kTimeEps
-        // before its start: the reference scan skips busy intervals ending
-        // within kTimeEps after it, so both implementations then return
-        // the candidate itself.  Later gaps always start after
-        // candidate + kTimeEps.
-        const double start = g.start <= candidate + kTimeEps ? candidate
-                                                             : g.start;
-        if (start + duration <= g.end + kTimeEps) {
-          fit = start;
-          found = true;
-          break;
+      std::size_t i = gap_ending_after(candidate);
+      // `candidate` counts as inside the first gap when it is at most
+      // kTimeEps before its start: the reference scan skips busy
+      // intervals ending within kTimeEps after it, so both
+      // implementations then return the candidate itself.
+      const double start =
+          gap_starts_[i] <= candidate + kTimeEps ? candidate : gap_starts_[i];
+      if (start + duration <= gap_ends_[i] + kTimeEps) {
+        fit = start;
+        found = true;
+      } else if (duration > widest_interior_ + kTimeEps) {
+        // No later gap can hold the slot: every gap beyond the first has
+        // two finite endpoints and a width bounded by widest_interior_,
+        // and such a gap accepts the slot iff duration <= width +
+        // kTimeEps.  The walk would fall through to the +inf sentinel,
+        // whose start is past candidate + kTimeEps here, so the fit
+        // starts exactly at the horizon.
+        fit = gap_starts_.back();
+        found = true;
+      } else {
+        // Later gaps always start after candidate + kTimeEps, so the
+        // candidate never truncates them.
+        for (++i; i < gap_starts_.size(); ++i) {
+          if (gap_starts_[i] + duration <= gap_ends_[i] + kTimeEps) {
+            fit = gap_starts_[i];
+            found = true;
+            break;
+          }
         }
       }
     }
     OP_ASSERT(found, "gap list lost its +inf sentinel");
     candidate = fit;
     if (pending_.empty()) return candidate;
+    // O(1) disjointness via the buffer envelope: nothing buffered ends
+    // after the candidate, or nothing buffered starts before the slot's
+    // end, so the ordered absorb pass below would touch nothing.
+    if (candidate >= pending_max_end_ - kTimeEps ||
+        pending_min_start_ >= candidate + duration - kTimeEps) {
+      return candidate;
+    }
     // Absorb deferred reservations the sliding candidate overlaps, then
     // re-walk the gaps -- the TimelineOverlay fixpoint pattern.  The
-    // buffer is start-sorted and non-overlapping, so one ordered pass
-    // suffices per round and the buffer is at most ~sqrt(gaps) long.
+    // buffer is start-sorted and non-overlapping, so the scan starts at
+    // the first buffered interval ending past the candidate (nothing
+    // before it can overlap) and one ordered pass suffices per round.
     bool moved = false;
-    for (const Interval& p : pending_) {
-      if (p.start >= candidate + duration - kTimeEps) break;
-      if (overlaps(p, {candidate, candidate + duration})) {
-        candidate = p.end;
+    for (auto p = std::partition_point(
+             pending_.begin(), pending_.end(),
+             [candidate](const Interval& b) {
+               return b.end <= candidate + kTimeEps;
+             });
+         p != pending_.end() && p->start < candidate + duration - kTimeEps;
+         ++p) {
+      if (overlaps(*p, {candidate, candidate + duration})) {
+        candidate = p->end;
         moved = true;
       }
     }
@@ -193,20 +242,29 @@ double GapTimeline::next_fit(double ready, double duration) const {
 void GapTimeline::reserve(double start, double end) {
   OP_REQUIRE(end >= start - kTimeEps, "interval end before start");
   if (Interval{start, end}.degenerate()) return;
-  if (gaps_.empty()) gaps_.push_back({-kInf, kInf});
-  const std::size_t i = gap_ending_after(start);
-  const Interval g = gaps_[i];
+  if (gap_starts_.empty()) {
+    gap_starts_.push_back(-kInf);
+    gap_ends_.push_back(kInf);
+  }
+  // Append fast path: a slot at or past the horizon lives in the +inf
+  // sentinel gap (its predecessor ends within kTimeEps of the horizon at
+  // most), so the search is free.
+  const std::size_t i = start >= gap_starts_.back() - kTimeEps
+                            ? gap_starts_.size() - 1
+                            : gap_ending_after(start);
+  const Interval g{gap_starts_[i], gap_ends_[i]};
   // The slot must sit inside one free gap (modulo the usual tolerance for
   // touching); otherwise it overlaps the busy interval bounding the gap.
   OP_ASSERT(start >= g.start - kTimeEps,
             "reservation [" << start << "," << end << ") overlaps ["
-                            << (i == 0 ? -kInf : gaps_[i - 1].end) << ","
+                            << (i == 0 ? -kInf : gap_ends_[i - 1]) << ","
                             << g.start << ")");
   OP_ASSERT(end <= g.end + kTimeEps,
             "reservation [" << start << "," << end << ") overlaps ["
                             << g.end << ","
-                            << (i + 1 < gaps_.size() ? gaps_[i + 1].start
-                                                     : kInf)
+                            << (i + 1 < gap_starts_.size()
+                                    ? gap_starts_[i + 1]
+                                    : kInf)
                             << ")");
   // ...and must clear the deferred buffer too.  Only the first buffered
   // interval ending after `start` can overlap: the buffer is start-sorted
@@ -229,8 +287,8 @@ void GapTimeline::reserve(double start, double end) {
   const bool keep_left = start > g.start + kTimeEps;
   const bool keep_right = g.end > end + kTimeEps;
   if (keep_left && keep_right) {
-    const std::size_t tail = gaps_.size() - i;
-    if (tail > kDeferTail) {
+    const std::size_t tail = gap_starts_.size() - i;
+    if (tail > kDeferTailMin && tail * tail > 64 * gap_starts_.size()) {
       // Deferred middle-insert: buffer the busy interval instead of
       // shifting `tail` gaps, merging with touching buffered neighbors
       // exactly like the reference merges touching busy intervals.
@@ -255,38 +313,56 @@ void GapTimeline::reserve(double start, double end) {
           pending_.erase(next);
         }
       }
+      pending_min_start_ = pending_.front().start;
+      pending_max_end_ = std::max(pending_max_end_, end);
       ++stats_.deferred_inserts;
+      prof::bump(prof::Counter::kGapDeferredInserts);
       if (pending_.size() >= kMinFlush &&
-          pending_.size() * pending_.size() >= gaps_.size()) {
+          pending_.size() * pending_.size() >= gap_starts_.size()) {
         flush_pending();
       }
       return;
     }
-    gaps_[i].end = start;
-    gaps_.insert(gaps_.begin() + static_cast<std::ptrdiff_t>(i + 1),
-                 Interval{end, g.end});
+    gap_ends_[i] = start;
+    gap_starts_.insert(gap_starts_.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                       end);
+    gap_ends_.insert(gap_ends_.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                     g.end);
     stats_.moved_elements += tail;
     hint_ = i + 1;
+    // Splitting a gap with an infinite endpoint (the -inf head or the
+    // +inf sentinel) mints a brand-new finite gap whose width is not
+    // covered by the parent's; fold it into the interior-width bound.
+    // Finite parents only shrink, so the max() is a no-op for them.
+    if (std::isfinite(g.start)) {
+      widest_interior_ = std::max(widest_interior_, start - g.start);
+    }
+    if (std::isfinite(g.end)) {
+      widest_interior_ = std::max(widest_interior_, g.end - end);
+    }
   } else if (keep_left) {
-    gaps_[i].end = start;
+    gap_ends_[i] = start;
     hint_ = i + 1;  // the slot ran up to the next busy interval
   } else if (keep_right) {
-    gaps_[i].start = end;
+    gap_starts_[i] = end;
     hint_ = i;
   } else {
     // The reservation bridges the two neighboring busy intervals; the
     // last gap ends at +inf and is therefore never erased.
-    gaps_.erase(gaps_.begin() + static_cast<std::ptrdiff_t>(i));
-    stats_.moved_elements += gaps_.size() - i;
+    gap_starts_.erase(gap_starts_.begin() + static_cast<std::ptrdiff_t>(i));
+    gap_ends_.erase(gap_ends_.begin() + static_cast<std::ptrdiff_t>(i));
+    stats_.moved_elements += gap_starts_.size() - i;
     hint_ = i;
   }
 }
 
 bool GapTimeline::is_free(double start, double end) const {
   if (Interval{start, end}.degenerate()) return true;
-  if (gaps_.empty()) return true;
-  const Interval& g = gaps_[gap_ending_after(start)];
-  if (start < g.start - kTimeEps || end > g.end + kTimeEps) return false;
+  if (gap_starts_.empty()) return true;
+  const std::size_t i = gap_ending_after(start);
+  if (start < gap_starts_[i] - kTimeEps || end > gap_ends_[i] + kTimeEps) {
+    return false;
+  }
   if (pending_.empty()) return true;
   const Interval iv{start, end};
   for (auto p = std::partition_point(
@@ -300,8 +376,8 @@ bool GapTimeline::is_free(double start, double end) const {
 
 double GapTimeline::busy_time() const noexcept {
   double total = 0.0;
-  for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) {
-    total += gaps_[i + 1].start - gaps_[i].end;
+  for (std::size_t i = 0; i + 1 < gap_starts_.size(); ++i) {
+    total += gap_starts_[i + 1] - gap_ends_[i];
   }
   // Buffered intervals are disjoint from the materialized busy set, so
   // their durations add independently.
@@ -311,8 +387,9 @@ double GapTimeline::busy_time() const noexcept {
 
 std::vector<Interval> GapTimeline::busy_intervals() const {
   std::vector<Interval> busy;
-  if (gaps_.size() < 2 && pending_.empty()) return busy;
-  busy.reserve((gaps_.empty() ? 0 : gaps_.size() - 1) + pending_.size());
+  if (gap_starts_.size() < 2 && pending_.empty()) return busy;
+  busy.reserve((gap_starts_.empty() ? 0 : gap_starts_.size() - 1) +
+               pending_.size());
   const auto push = [&busy](const Interval& iv) {
     if (!busy.empty() && iv.start <= busy.back().end + kTimeEps) {
       busy.back().end = std::max(busy.back().end, iv.end);
@@ -323,14 +400,14 @@ std::vector<Interval> GapTimeline::busy_intervals() const {
   // Linear merge of the two start-sorted busy streams (gap complements
   // and the deferred buffer), merging touching intervals exactly like the
   // reference's reserve does.
-  std::size_t k = 0;  // busy interval between gaps_[k] and gaps_[k + 1]
+  std::size_t k = 0;  // busy interval between gap k and gap k + 1
   std::size_t p = 0;
-  while (k + 1 < gaps_.size() || p < pending_.size()) {
+  while (k + 1 < gap_starts_.size() || p < pending_.size()) {
     const bool take_gap =
-        k + 1 < gaps_.size() &&
-        (p >= pending_.size() || gaps_[k].end <= pending_[p].start);
+        k + 1 < gap_starts_.size() &&
+        (p >= pending_.size() || gap_ends_[k] <= pending_[p].start);
     if (take_gap) {
-      push({gaps_[k].end, gaps_[k + 1].start});
+      push({gap_ends_[k], gap_starts_[k + 1]});
       ++k;
     } else {
       push(pending_[p]);
@@ -343,16 +420,30 @@ std::vector<Interval> GapTimeline::busy_intervals() const {
 void GapTimeline::flush_pending() {
   if (pending_.empty()) return;
   ++stats_.flushes;
-  stats_.moved_elements += gaps_.size() + pending_.size();
+  prof::bump(prof::Counter::kGapFlushes);
+  stats_.moved_elements += gap_starts_.size() + pending_.size();
   const std::vector<Interval> busy = busy_intervals();
-  gaps_.clear();
-  gaps_.reserve(busy.size() + 1);
+  pending_min_start_ = 0.0;
+  pending_max_end_ = 0.0;
+  gap_starts_.clear();
+  gap_ends_.clear();
+  gap_starts_.reserve(busy.size() + 1);
+  gap_ends_.reserve(busy.size() + 1);
+  // The rebuild visits every gap anyway, so retighten the interior-width
+  // bound exactly (reservations since the last flush can only have left
+  // it stale high).
+  widest_interior_ = 0.0;
   double free_from = -kInf;
   for (const Interval& iv : busy) {
-    gaps_.push_back({free_from, iv.start});
+    gap_starts_.push_back(free_from);
+    gap_ends_.push_back(iv.start);
+    if (std::isfinite(free_from)) {
+      widest_interior_ = std::max(widest_interior_, iv.start - free_from);
+    }
     free_from = iv.end;
   }
-  gaps_.push_back({free_from, kInf});
+  gap_starts_.push_back(free_from);
+  gap_ends_.push_back(kInf);
   pending_.clear();
   hint_ = 0;
 }
@@ -368,11 +459,13 @@ TimelineImpl impl_from_env() {
     if (std::strcmp(env, "gap") == 0 || std::strcmp(env, "gap-indexed") == 0) {
       return TimelineImpl::kGapIndexed;
     }
+    if (std::strcmp(env, "calendar") == 0) return TimelineImpl::kCalendar;
     // A typo silently selecting the default would invalidate differential
     // runs; be loud (but do not throw from a static initializer).
     std::fprintf(stderr,
                  "oneport: ignoring unknown ONEPORT_TIMELINE value '%s' "
-                 "(expected 'reference' or 'gap'); using gap-indexed\n",
+                 "(expected 'reference', 'gap' or 'calendar'); "
+                 "using gap-indexed\n",
                  env);
   }
   return TimelineImpl::kGapIndexed;
@@ -394,7 +487,12 @@ void set_default_timeline_impl(TimelineImpl impl) noexcept {
 }
 
 const char* timeline_impl_name(TimelineImpl impl) noexcept {
-  return impl == TimelineImpl::kReference ? "reference" : "gap-indexed";
+  switch (impl) {
+    case TimelineImpl::kReference: return "reference";
+    case TimelineImpl::kGapIndexed: return "gap-indexed";
+    case TimelineImpl::kCalendar: return "calendar";
+  }
+  return "unknown";
 }
 
 // ---------------------------------------------------------- overlays
@@ -402,6 +500,12 @@ const char* timeline_impl_name(TimelineImpl impl) noexcept {
 double TimelineOverlay::next_fit(double ready, double duration) const {
   OP_ASSERT(base_ != nullptr, "overlay used before reset()");
   if (duration <= kTimeEps) return ready;
+  // O(1) fast path: nothing -- base reservation or extra -- ends after
+  // ready + kTimeEps, so no interval can block a slot at `ready`.  This
+  // is exactly the answer the scan below would produce.
+  if (ready >= base_horizon_ - kTimeEps && ready >= extras_horizon_ - kTimeEps) {
+    return ready;
+  }
   // Most evaluations add zero or one extras per port; skip the merge
   // machinery entirely while the overlay is still transparent.
   if (extras_.empty()) return base_->next_fit(ready, duration);
@@ -429,6 +533,7 @@ double TimelineOverlay::next_fit(double ready, double duration) const {
 void TimelineOverlay::add(double start, double end) {
   const Interval iv{start, end};
   if (iv.degenerate()) return;
+  if (end > extras_horizon_) extras_horizon_ = end;
   const auto pos = std::partition_point(
       extras_.begin(), extras_.end(),
       [&iv](const Interval& e) { return e.start < iv.start; });

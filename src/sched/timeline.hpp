@@ -1,7 +1,7 @@
 // Busy-interval timelines of a single exclusive resource (a processor's
 // compute unit, send port, or receive port).
 //
-// Two interchangeable implementations sit behind the same
+// Three interchangeable implementations sit behind the same
 // next_fit/reserve/is_free contract:
 //
 //   * Timeline -- the reference implementation: a sorted vector of busy
@@ -12,12 +12,19 @@
 //     (binary-searchable starts) plus a hinted cursor so the
 //     back-to-back append pattern list scheduling produces costs O(1)
 //     instead of a fresh binary search per reservation.
+//   * CalendarTimeline (sched/calendar_timeline.hpp) -- the middle-insert
+//     implementation: busy intervals clipped into equal-width time
+//     buckets, so reservations landing far from the horizon touch one
+//     bucket instead of shifting a flat vector.
 //
-// TimelineIndex wraps both behind one concrete type (no virtual
+// TimelineIndex wraps all three behind one concrete type (no virtual
 // dispatch) and is what the EFT engine stores; the active implementation
 // is chosen per instance, defaulting to a process-wide setting that can
 // be overridden with set_default_timeline_impl() or the ONEPORT_TIMELINE
-// environment variable ("reference" or "gap").
+// environment variable ("reference", "gap" or "calendar").  The index
+// additionally caches the busy horizon so the dominant append-style
+// probe (`ready` at or beyond every reservation) is answered inline
+// without entering the implementation at all.
 //
 // The operations supported are the two queries list scheduling needs:
 //   * next_fit(ready, duration): earliest start >= ready of a free slot,
@@ -32,7 +39,10 @@
 #include <span>
 #include <vector>
 
+#include "sched/calendar_timeline.hpp"
 #include "sched/interval.hpp"
+#include "util/error.hpp"
+#include "util/profiler.hpp"
 
 namespace oneport {
 
@@ -107,15 +117,19 @@ class GapTimeline {
   // Deferred splits never land in the +inf sentinel gap, so the horizon
   // is always the last materialized busy end.
   [[nodiscard]] double horizon() const noexcept {
-    return gaps_.size() < 2 ? 0.0 : gaps_.back().start;
+    return gap_starts_.size() < 2 ? 0.0 : gap_starts_.back();
   }
   [[nodiscard]] bool empty() const noexcept {
-    return gaps_.size() < 2 && pending_.empty();
+    return gap_starts_.size() < 2 && pending_.empty();
   }
   void clear() noexcept {
-    gaps_.clear();
+    gap_starts_.clear();
+    gap_ends_.clear();
     pending_.clear();
+    pending_min_start_ = 0.0;
+    pending_max_end_ = 0.0;
     hint_ = 0;
+    widest_interior_ = 0.0;
   }
   [[nodiscard]] double busy_time() const noexcept;
   [[nodiscard]] std::vector<Interval> busy_intervals() const;
@@ -138,14 +152,34 @@ class GapTimeline {
   /// Folds pending_ into gaps_ with one linear merge.
   void flush_pending();
 
-  // Empty means "never reserved" == one gap (-inf, +inf); materialized on
-  // the first reserve() so default-constructed timelines stay
-  // allocation-free.
-  std::vector<Interval> gaps_;
+  // Free gaps as structure-of-arrays: gap i spans
+  // [gap_starts_[i], gap_ends_[i]).  The ends get their own dense array
+  // because locating a gap is a binary search over ends alone -- an
+  // 8-byte stride touches half the cache lines a packed Interval pair
+  // would.  Empty means "never reserved" == one gap (-inf, +inf);
+  // materialized on the first reserve() so default-constructed timelines
+  // stay allocation-free.
+  std::vector<double> gap_starts_;
+  std::vector<double> gap_ends_;
   // Deferred busy intervals: sorted by start, pairwise non-overlapping,
   // each strictly inside one gap of gaps_ at the time it was buffered.
   std::vector<Interval> pending_;
+  // Envelope of the buffer (meaningful only while pending_ is non-empty):
+  // a probe at or past every buffered end, or ending at or before every
+  // buffered start, provably absorbs nothing, so the per-probe
+  // partition_point over the buffer is skipped entirely.
+  double pending_min_start_ = 0.0;
+  double pending_max_end_ = 0.0;
   mutable std::size_t hint_ = 0;  ///< gap index probed before searching
+  // Upper bound on the width of every materialized gap with two finite
+  // endpoints (interior gaps; the -inf head and +inf sentinel are
+  // excluded).  Reservations only shrink or split gaps, so the bound can
+  // go stale high but never low; it is retightened exactly on every
+  // flush_pending().  next_fit uses it to answer "no interior gap can
+  // hold this duration" in O(1) and jump straight to the horizon, which
+  // is the dominant outcome for interior probes on long timelines whose
+  // surviving gaps are small.
+  double widest_interior_ = 0.0;
   Stats stats_;
 };
 
@@ -154,11 +188,12 @@ class GapTimeline {
 enum class TimelineImpl {
   kReference,   ///< sorted busy-interval vector (Timeline)
   kGapIndexed,  ///< free-gap list with hinted cursor (GapTimeline)
+  kCalendar,    ///< bucketed calendar queue (CalendarTimeline)
 };
 
 /// Process-wide default used by TimelineIndex's default constructor.
 /// Initialized once from the ONEPORT_TIMELINE environment variable
-/// ("reference" or "gap"); kGapIndexed when unset.
+/// ("reference", "gap" or "calendar"); kGapIndexed when unset.
 [[nodiscard]] TimelineImpl default_timeline_impl() noexcept;
 void set_default_timeline_impl(TimelineImpl impl) noexcept;
 [[nodiscard]] const char* timeline_impl_name(TimelineImpl impl) noexcept;
@@ -180,46 +215,94 @@ class ScopedTimelineImpl {
 };
 
 /// The timeline abstraction the scheduling engine stores: one concrete
-/// type dispatching to the implementation chosen at construction.  Both
+/// type dispatching to the implementation chosen at construction.  All
 /// members are cheap empty vectors; only the active one ever grows.
+///
+/// The index caches the busy horizon itself: a probe at or beyond it
+/// (within kTimeEps) provably returns `ready` under every
+/// implementation (no stored interval ends after ready + kTimeEps, so
+/// the reference scan finds no blocker), and list scheduling's dominant
+/// append pattern therefore never pays the dispatch at all.
 class TimelineIndex {
  public:
   TimelineIndex() : TimelineIndex(default_timeline_impl()) {}
   explicit TimelineIndex(TimelineImpl impl) : impl_(impl) {}
 
   [[nodiscard]] double next_fit(double ready, double duration) const {
-    return reference() ? ref_.next_fit(ready, duration)
-                       : gap_.next_fit(ready, duration);
+    prof::bump(prof::Counter::kTimelineNextFit);
+    OP_REQUIRE(duration >= 0.0, "duration must be non-negative");
+    if (duration <= kTimeEps) return ready;
+    if (ready >= horizon_ - kTimeEps) {
+      prof::bump(prof::Counter::kTimelineHorizonHits);
+      return ready;
+    }
+    switch (impl_) {
+      case TimelineImpl::kReference: return ref_.next_fit(ready, duration);
+      case TimelineImpl::kGapIndexed: return gap_.next_fit(ready, duration);
+      case TimelineImpl::kCalendar: return cal_.next_fit(ready, duration);
+    }
+    return ready;  // unreachable
   }
   void reserve(double start, double end) {
-    reference() ? ref_.reserve(start, end) : gap_.reserve(start, end);
+    prof::bump(prof::Counter::kTimelineReserves);
+    switch (impl_) {
+      case TimelineImpl::kReference: ref_.reserve(start, end); break;
+      case TimelineImpl::kGapIndexed: gap_.reserve(start, end); break;
+      case TimelineImpl::kCalendar: cal_.reserve(start, end); break;
+    }
+    // Degenerate reservations are ignored by every implementation and
+    // must not advance the cached horizon.
+    if (end > horizon_ && !Interval{start, end}.degenerate()) horizon_ = end;
   }
   [[nodiscard]] bool is_free(double start, double end) const {
-    return reference() ? ref_.is_free(start, end) : gap_.is_free(start, end);
+    switch (impl_) {
+      case TimelineImpl::kReference: return ref_.is_free(start, end);
+      case TimelineImpl::kGapIndexed: return gap_.is_free(start, end);
+      case TimelineImpl::kCalendar: return cal_.is_free(start, end);
+    }
+    return true;  // unreachable
   }
-  [[nodiscard]] double horizon() const noexcept {
-    return reference() ? ref_.horizon() : gap_.horizon();
-  }
+  [[nodiscard]] double horizon() const noexcept { return horizon_; }
   [[nodiscard]] bool empty() const noexcept {
-    return reference() ? ref_.empty() : gap_.empty();
+    switch (impl_) {
+      case TimelineImpl::kReference: return ref_.empty();
+      case TimelineImpl::kGapIndexed: return gap_.empty();
+      case TimelineImpl::kCalendar: return cal_.empty();
+    }
+    return true;  // unreachable
   }
-  void clear() noexcept { reference() ? ref_.clear() : gap_.clear(); }
+  void clear() noexcept {
+    horizon_ = 0.0;
+    switch (impl_) {
+      case TimelineImpl::kReference: ref_.clear(); break;
+      case TimelineImpl::kGapIndexed: gap_.clear(); break;
+      case TimelineImpl::kCalendar: cal_.clear(); break;
+    }
+  }
   [[nodiscard]] double busy_time() const noexcept {
-    return reference() ? ref_.busy_time() : gap_.busy_time();
+    switch (impl_) {
+      case TimelineImpl::kReference: return ref_.busy_time();
+      case TimelineImpl::kGapIndexed: return gap_.busy_time();
+      case TimelineImpl::kCalendar: return cal_.busy_time();
+    }
+    return 0.0;  // unreachable
   }
   [[nodiscard]] std::vector<Interval> busy_intervals() const {
-    return reference() ? ref_.busy_intervals() : gap_.busy_intervals();
+    switch (impl_) {
+      case TimelineImpl::kReference: return ref_.busy_intervals();
+      case TimelineImpl::kGapIndexed: return gap_.busy_intervals();
+      case TimelineImpl::kCalendar: return cal_.busy_intervals();
+    }
+    return {};  // unreachable
   }
   [[nodiscard]] TimelineImpl impl() const noexcept { return impl_; }
 
  private:
-  [[nodiscard]] bool reference() const noexcept {
-    return impl_ == TimelineImpl::kReference;
-  }
-
   TimelineImpl impl_;
+  double horizon_ = 0.0;  ///< end of the last non-degenerate reservation
   Timeline ref_;
   GapTimeline gap_;
+  CalendarTimeline cal_;
 };
 
 // ---------------------------------------------------------- overlays
@@ -233,12 +316,17 @@ class TimelineIndex {
 class TimelineOverlay {
  public:
   TimelineOverlay() = default;
-  explicit TimelineOverlay(const TimelineIndex& base) : base_(&base) {}
+  explicit TimelineOverlay(const TimelineIndex& base)
+      : base_(&base), base_horizon_(base.horizon()) {}
 
   /// Re-points the overlay at `base` and drops the extras, keeping the
-  /// allocated capacity.
+  /// allocated capacity.  The base horizon is cached here: during one
+  /// evaluation the base is never mutated, so a probe at or beyond both
+  /// the base horizon and every extra's end is answered inline.
   void reset(const TimelineIndex& base) {
     base_ = &base;
+    base_horizon_ = base.horizon();
+    extras_horizon_ = 0.0;
     extras_.clear();
   }
 
@@ -250,6 +338,8 @@ class TimelineOverlay {
 
  private:
   const TimelineIndex* base_ = nullptr;
+  double base_horizon_ = 0.0;    ///< base->horizon() at reset time
+  double extras_horizon_ = 0.0;  ///< max end over the extras
   std::vector<Interval> extras_;  // kept sorted by start
 };
 

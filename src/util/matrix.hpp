@@ -31,6 +31,10 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Raw row-major storage for hot loops that have already validated
+  /// their indices; element (r, c) lives at data()[r * cols() + c].
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
   friend bool operator==(const Matrix&, const Matrix&) = default;
 
  private:

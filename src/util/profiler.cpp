@@ -1,0 +1,118 @@
+#include "util/profiler.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace oneport::prof {
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kTimelineNextFit: return "timeline_next_fit";
+    case Counter::kTimelineHorizonHits: return "timeline_horizon_hits";
+    case Counter::kTimelineReserves: return "timeline_reserves";
+    case Counter::kOverlayResets: return "overlay_resets";
+    case Counter::kPruneEvals: return "prune_evals";
+    case Counter::kPruneSkips: return "prune_skips";
+    case Counter::kEngineCommits: return "engine_commits";
+    case Counter::kGapDeferredInserts: return "gap_deferred_inserts";
+    case Counter::kGapFlushes: return "gap_flushes";
+    case Counter::kCalendarRebuilds: return "calendar_rebuilds";
+    case Counter::kCalendarShifts: return "calendar_shifts";
+    case Counter::kPoolTasks: return "pool_tasks";
+    case Counter::kPoolTaskNanos: return "pool_task_nanos";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+#if !defined(ONEPORT_NO_PROFILER)
+
+namespace detail {
+
+namespace {
+
+bool env_enabled() noexcept {
+  const char* env = std::getenv("ONEPORT_PROFILE");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// Slab registry: grows, never shrinks.  Threads die but their counters
+/// keep counting toward the aggregate, which is exactly what a run-level
+/// profile wants.  Leaked intentionally so worker threads racing process
+/// teardown never touch a destroyed registry.
+std::mutex& registry_mutex() noexcept {
+  static auto* m = new std::mutex();
+  return *m;
+}
+
+std::vector<std::unique_ptr<Slab>>& registry() noexcept {
+  static auto* slabs = new std::vector<std::unique_ptr<Slab>>();
+  return *slabs;
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+void bump_slow(Counter c, std::uint64_t n) noexcept {
+  thread_local Slab* slab = nullptr;
+  if (slab == nullptr) {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(std::make_unique<Slab>());
+    slab = registry().back().get();
+  }
+  auto& slot = slab->counts[static_cast<std::size_t>(c)];
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t slab_count() noexcept {
+  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
+  return detail::registry().size();
+}
+
+std::vector<Counts> per_thread() {
+  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
+  std::vector<Counts> out;
+  out.reserve(detail::registry().size());
+  for (const auto& slab : detail::registry()) {
+    Counts counts{};
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      counts[i] = slab->counts[i].load(std::memory_order_relaxed);
+    }
+    out.push_back(counts);
+  }
+  return out;
+}
+
+Counts aggregate() noexcept {
+  Counts total{};
+  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
+  for (const auto& slab : detail::registry()) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      total[i] += slab->counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+void reset() noexcept {
+  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
+  for (const auto& slab : detail::registry()) {
+    for (auto& slot : slab->counts) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+#endif  // !ONEPORT_NO_PROFILER
+
+}  // namespace oneport::prof

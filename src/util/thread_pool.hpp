@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -28,6 +29,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/profiler.hpp"
 
 namespace oneport {
 
@@ -116,7 +119,23 @@ class ThreadPool {
  private:
   void run_job(std::function<void()>& job) {
     try {
-      job();
+      // Profiler wiring: completed jobs count toward kPoolTasks and
+      // their wall time toward kPoolTaskNanos, each on the worker's own
+      // slab.  The clock is read only while the profiler is enabled, so
+      // the disabled path stays a relaxed load + untaken branch.
+      if (prof::enabled()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        job();
+        const auto dt = std::chrono::steady_clock::now() - t0;
+        prof::bump(prof::Counter::kPoolTasks);
+        prof::bump(
+            prof::Counter::kPoolTaskNanos,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count()));
+      } else {
+        job();
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();

@@ -122,5 +122,40 @@ TEST(Experiment, UnknownTestbedThrows) {
                std::invalid_argument);
 }
 
+TEST(Experiment, RebalanceIsAGridAxis) {
+  // rebalance innermost: consecutive points differ only in the flag.
+  const std::vector<SweepPoint> grid =
+      make_sweep_grid({"LU"}, {20}, {"heft-oneport"}, 10.0, 38, {"full"},
+                      {"mixed"}, {false, true});
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_FALSE(grid[0].rebalance);
+  EXPECT_TRUE(grid[1].rebalance);
+  EXPECT_EQ(grid[0].events, "mixed");
+  EXPECT_EQ(grid[1].events, "mixed");
+}
+
+TEST(Experiment, SweepReportsEpochImbalance) {
+  const std::vector<SweepPoint> grid =
+      make_sweep_grid({"LU"}, {20}, {"heft-oneport"}, 10.0, 38, {"full"},
+                      {"mixed"}, {false, true});
+  const std::vector<SweepResult> results =
+      run_sweep(grid, make_paper_platform(), {.workers = 1});
+  ASSERT_EQ(results.size(), 2u);
+  for (const SweepResult& r : results) {
+    // The rebalancing pass never increases an epoch's suffix skew, and
+    // the mixed trace always reschedules a non-trivial suffix, so the
+    // before-skew is a real positive measurement on both points.
+    EXPECT_GT(r.imbalance_before, 0.0);
+    EXPECT_LE(r.imbalance_after, r.imbalance_before);
+    EXPECT_GT(r.makespan, 0.0);
+  }
+  // Rebalance off: the pass is skipped, so before == after exactly.
+  EXPECT_DOUBLE_EQ(results[0].imbalance_after, results[0].imbalance_before);
+  // The table carries the axis and both imbalance columns.
+  const csv::Table table = sweep_table(results);
+  EXPECT_EQ(table.rows()[0][5], "off");
+  EXPECT_EQ(table.rows()[1][5], "on");
+}
+
 }  // namespace
 }  // namespace oneport::analysis

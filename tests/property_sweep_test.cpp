@@ -21,6 +21,7 @@
 
 #include "core/registry.hpp"
 #include "dynamic/events.hpp"
+#include "graph/soa_view.hpp"
 #include "dynamic/reschedule.hpp"
 #include "sched/replay.hpp"
 #include "sched/timeline.hpp"
@@ -123,15 +124,17 @@ TEST(PropertySweepExtended, HonorsEnvSeedCount) {
   }
 }
 
-// Differential pin for the ISSUE-2 timeline refactor: the reference
-// sorted-vector timeline and the gap-indexed timeline must produce
+// Differential pin for the ISSUE-2/ISSUE-7 hot-path refactors: every
+// timeline implementation (reference sorted-vector, gap-indexed free
+// list, bucketed calendar queue) and both task-graph iteration paths
+// (pointer-chasing adjacency vs the CSR/SoA view) must produce
 // BIT-IDENTICAL schedules (placements and messages compared with exact
 // double equality) for every registered heuristic under both
-// communication models.  Any divergence means the gap index changed
-// scheduling behavior, not just speed.  Routed scenarios ride the same
-// pin: the store-and-forward code path (and the routed
+// communication models.  Any divergence means an index or layout change
+// altered scheduling behavior, not just speed.  Routed scenarios ride
+// the same pin: the store-and-forward code path (and the routed
 // finish_lower_bound pruning behind it) must not depend on the timeline
-// implementation either.
+// implementation or memory layout either.
 TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
   std::vector<Scenario> scenarios = testsupport::scenario_sweep(8087, 8);
   for (Scenario& scenario : testsupport::edge_case_scenarios()) {
@@ -140,32 +143,47 @@ TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
   for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 10)) {
     scenarios.push_back(std::move(scenario));
   }
+  struct Variant {
+    const char* label;
+    TimelineImpl impl;
+    GraphPath path;
+  };
+  const Variant variants[] = {
+      {"gap/soa", TimelineImpl::kGapIndexed, GraphPath::kSoa},
+      {"calendar/soa", TimelineImpl::kCalendar, GraphPath::kSoa},
+      {"gap/pointer", TimelineImpl::kGapIndexed, GraphPath::kPointer},
+  };
   for (const Scenario& scenario : scenarios) {
     for (const SchedulerEntry& entry : registry_for(scenario)) {
       SCOPED_TRACE(scenario.description + " scheduler=" + entry.name);
       Schedule reference;
-      Schedule indexed;
       {
         ScopedTimelineImpl guard(TimelineImpl::kReference);
+        ScopedGraphPath path_guard(GraphPath::kSoa);
         reference = entry.run(scenario.graph, scenario.platform);
       }
-      {
-        ScopedTimelineImpl guard(TimelineImpl::kGapIndexed);
-        indexed = entry.run(scenario.graph, scenario.platform);
+      for (const Variant& variant : variants) {
+        SCOPED_TRACE(std::string("variant=") + variant.label);
+        Schedule other;
+        {
+          ScopedTimelineImpl guard(variant.impl);
+          ScopedGraphPath path_guard(variant.path);
+          other = entry.run(scenario.graph, scenario.platform);
+        }
+        ASSERT_EQ(reference.num_tasks(), other.num_tasks());
+        EXPECT_TRUE(reference.tasks() == other.tasks())
+            << "task placements diverge from the reference timeline";
+        EXPECT_TRUE(reference.comms() == other.comms())
+            << "communications diverge from the reference timeline";
+        EXPECT_EQ(reference.makespan(), other.makespan());
       }
-      ASSERT_EQ(reference.num_tasks(), indexed.num_tasks());
-      EXPECT_TRUE(reference.tasks() == indexed.tasks())
-          << "task placements diverge between timeline implementations";
-      EXPECT_TRUE(reference.comms() == indexed.comms())
-          << "communications diverge between timeline implementations";
-      EXPECT_EQ(reference.makespan(), indexed.makespan());
     }
   }
 }
 
 // Event-trace determinism: the same (DAG, platform, trace, heuristic)
 // input must yield a bit-identical dynamic result -- every epoch's
-// placements, live messages, and stale list -- under both
+// placements, live messages, and stale list -- under all three
 // ONEPORT_TIMELINE implementations.  The rebuild path leans on
 // next_fit/reserve far harder than the static engines (timelines are
 // pre-seeded with the whole frozen prefix), so this is the dynamic
@@ -192,31 +210,35 @@ TEST(PropertySweepDifferential, DynamicRunsAreTimelineImplInvariant) {
         dyn::DynamicOptions options;
         options.model = model_of(entry);
         dyn::DynamicResult reference;
-        dyn::DynamicResult indexed;
         {
           ScopedTimelineImpl guard(TimelineImpl::kReference);
           reference = dyn::run_dynamic(scenario.graph, scenario.platform,
                                        entry.name, config, trace, options);
         }
-        {
-          ScopedTimelineImpl guard(TimelineImpl::kGapIndexed);
-          indexed = dyn::run_dynamic(scenario.graph, scenario.platform,
+        for (const TimelineImpl impl :
+             {TimelineImpl::kGapIndexed, TimelineImpl::kCalendar}) {
+          SCOPED_TRACE(std::string("impl=") + timeline_impl_name(impl));
+          dyn::DynamicResult other;
+          {
+            ScopedTimelineImpl guard(impl);
+            other = dyn::run_dynamic(scenario.graph, scenario.platform,
                                      entry.name, config, trace, options);
-        }
-        EXPECT_TRUE(reference.schedule.tasks() == indexed.schedule.tasks())
-            << "dynamic placements diverge between timeline impls";
-        EXPECT_TRUE(reference.schedule.comms() == indexed.schedule.comms())
-            << "dynamic messages diverge between timeline impls";
-        EXPECT_TRUE(reference.stale_comms == indexed.stale_comms)
-            << "stale lists diverge between timeline impls";
-        ASSERT_EQ(reference.epochs.size(), indexed.epochs.size());
-        for (std::size_t k = 0; k < reference.epochs.size(); ++k) {
-          EXPECT_TRUE(reference.epochs[k].schedule.tasks() ==
-                      indexed.epochs[k].schedule.tasks())
-              << "epoch " << k << " placements diverge";
-          EXPECT_TRUE(reference.epochs[k].schedule.comms() ==
-                      indexed.epochs[k].schedule.comms())
-              << "epoch " << k << " messages diverge";
+          }
+          EXPECT_TRUE(reference.schedule.tasks() == other.schedule.tasks())
+              << "dynamic placements diverge between timeline impls";
+          EXPECT_TRUE(reference.schedule.comms() == other.schedule.comms())
+              << "dynamic messages diverge between timeline impls";
+          EXPECT_TRUE(reference.stale_comms == other.stale_comms)
+              << "stale lists diverge between timeline impls";
+          ASSERT_EQ(reference.epochs.size(), other.epochs.size());
+          for (std::size_t k = 0; k < reference.epochs.size(); ++k) {
+            EXPECT_TRUE(reference.epochs[k].schedule.tasks() ==
+                        other.epochs[k].schedule.tasks())
+                << "epoch " << k << " placements diverge";
+            EXPECT_TRUE(reference.epochs[k].schedule.comms() ==
+                        other.epochs[k].schedule.comms())
+                << "epoch " << k << " messages diverge";
+          }
         }
       }
     }

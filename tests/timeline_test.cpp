@@ -10,15 +10,16 @@
 namespace oneport {
 namespace {
 
-// Every contract test below runs against BOTH timeline implementations:
-// the reference sorted-busy-vector (Timeline) and the gap-indexed free
-// list (GapTimeline).  They must agree not just on semantics but on the
-// exact doubles they return -- the property sweep relies on bit-identical
-// schedules from either implementation.
+// Every contract test below runs against ALL timeline implementations:
+// the reference sorted-busy-vector (Timeline), the gap-indexed free
+// list (GapTimeline), and the bucketed calendar queue (CalendarTimeline).
+// They must agree not just on semantics but on the exact doubles they
+// return -- the property sweep relies on bit-identical schedules from
+// every implementation.
 template <typename T>
 class TimelineContractTest : public ::testing::Test {};
 
-using TimelineImpls = ::testing::Types<Timeline, GapTimeline>;
+using TimelineImpls = ::testing::Types<Timeline, GapTimeline, CalendarTimeline>;
 TYPED_TEST_SUITE(TimelineContractTest, TimelineImpls);
 
 TYPED_TEST(TimelineContractTest, EmptyFitsAnywhere) {
@@ -172,8 +173,9 @@ TEST(Interval, OverlapSemantics) {
 
 // ----------------------------------------------- differential fuzzing
 
-/// Drives both implementations through an identical random op sequence
-/// and demands exactly equal answers and busy structures at every step.
+/// Drives all three implementations through an identical random op
+/// sequence and demands exactly equal answers and busy structures at
+/// every step.
 class TimelineDifferentialTest
     : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -181,27 +183,39 @@ TEST_P(TimelineDifferentialTest, ImplementationsAgreeExactly) {
   SplitMix64 rng(GetParam());
   Timeline reference;
   GapTimeline gap;
+  CalendarTimeline calendar;
   for (int i = 0; i < 400; ++i) {
     const double ready = rng.uniform(0.0, 60.0);
     const double duration =
         rng.below(8) == 0 ? 0.0 : rng.uniform(0.0, 4.0);
     const double fit_ref = reference.next_fit(ready, duration);
     const double fit_gap = gap.next_fit(ready, duration);
+    const double fit_cal = calendar.next_fit(ready, duration);
     ASSERT_EQ(fit_ref, fit_gap)  // bitwise: no tolerance
+        << "step " << i << " ready=" << ready << " duration=" << duration;
+    ASSERT_EQ(fit_ref, fit_cal)
         << "step " << i << " ready=" << ready << " duration=" << duration;
     const double probe_end = ready + rng.uniform(0.0, 5.0);
     ASSERT_EQ(reference.is_free(ready, probe_end),
               gap.is_free(ready, probe_end))
         << "step " << i;
+    ASSERT_EQ(reference.is_free(ready, probe_end),
+              calendar.is_free(ready, probe_end))
+        << "step " << i;
     if (rng.below(3) != 0) {  // reserve the found slot 2/3 of the time
       reference.reserve(fit_ref, fit_ref + duration);
       gap.reserve(fit_gap, fit_gap + duration);
+      calendar.reserve(fit_cal, fit_cal + duration);
     }
     ASSERT_EQ(reference.busy_intervals(), gap.busy_intervals())
         << "step " << i;
+    ASSERT_EQ(reference.busy_intervals(), calendar.busy_intervals())
+        << "step " << i;
     ASSERT_EQ(reference.horizon(), gap.horizon()) << "step " << i;
+    ASSERT_EQ(reference.horizon(), calendar.horizon()) << "step " << i;
   }
   EXPECT_NEAR(reference.busy_time(), gap.busy_time(), 1e-9);
+  EXPECT_NEAR(reference.busy_time(), calendar.busy_time(), 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelineDifferentialTest,
@@ -316,6 +330,7 @@ TEST(TimelineIndexSelection, ScopedOverrideRoundTrips) {
   EXPECT_STREQ(timeline_impl_name(TimelineImpl::kReference), "reference");
   EXPECT_STREQ(timeline_impl_name(TimelineImpl::kGapIndexed),
                "gap-indexed");
+  EXPECT_STREQ(timeline_impl_name(TimelineImpl::kCalendar), "calendar");
 }
 
 TEST(TimelineIndexSelection, ExplicitImplIgnoresDefault) {
@@ -355,6 +370,7 @@ void next_fit_slots_always_reservable(std::uint64_t seed) {
 TEST_P(TimelinePropertyTest, NextFitSlotsAreAlwaysReservable) {
   next_fit_slots_always_reservable<Timeline>(GetParam());
   next_fit_slots_always_reservable<GapTimeline>(GetParam());
+  next_fit_slots_always_reservable<CalendarTimeline>(GetParam());
 }
 
 /// Busy intervals stay sorted and disjoint on both implementations.
@@ -376,6 +392,7 @@ void invariant_sorted_disjoint(std::uint64_t seed) {
 TEST_P(TimelinePropertyTest, InvariantSortedDisjoint) {
   invariant_sorted_disjoint<Timeline>(GetParam());
   invariant_sorted_disjoint<GapTimeline>(GetParam());
+  invariant_sorted_disjoint<CalendarTimeline>(GetParam());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TimelinePropertyTest,
@@ -403,9 +420,11 @@ TEST_P(TimelineMiddleInsertTest, RandomMiddleInsertsAgreeWithReference) {
   SplitMix64 rng(GetParam());
   Timeline reference;
   GapTimeline gap;
+  CalendarTimeline calendar;
   const int blocks = 600;
   lay_down_blocks(reference, blocks);
   lay_down_blocks(gap, blocks);
+  lay_down_blocks(calendar, blocks);
 
   // Visit the interior gaps in a random order and drop a sliver strictly
   // inside each: every insert splits a gap far from the tail.
@@ -422,23 +441,35 @@ TEST_P(TimelineMiddleInsertTest, RandomMiddleInsertsAgreeWithReference) {
     const double end = start + rng.uniform(0.2, 0.8);
     reference.reserve(start, end);
     gap.reserve(start, end);
+    calendar.reserve(start, end);
     // Interleave queries so absorption runs against a hot buffer.
     const double ready = rng.uniform(0.0, 4.0 * blocks);
     const double duration = rng.uniform(0.0, 2.0);
     ASSERT_EQ(reference.next_fit(ready, duration),
               gap.next_fit(ready, duration))
         << "step " << step;
+    ASSERT_EQ(reference.next_fit(ready, duration),
+              calendar.next_fit(ready, duration))
+        << "step " << step;
     ASSERT_EQ(reference.is_free(start - 0.1, end),
               gap.is_free(start - 0.1, end))
+        << "step " << step;
+    ASSERT_EQ(reference.is_free(start - 0.1, end),
+              calendar.is_free(start - 0.1, end))
         << "step " << step;
     if (step % 64 == 0) {
       ASSERT_EQ(reference.busy_intervals(), gap.busy_intervals())
           << "step " << step;
+      ASSERT_EQ(reference.busy_intervals(), calendar.busy_intervals())
+          << "step " << step;
     }
   }
   EXPECT_EQ(reference.busy_intervals(), gap.busy_intervals());
+  EXPECT_EQ(reference.busy_intervals(), calendar.busy_intervals());
   EXPECT_NEAR(reference.busy_time(), gap.busy_time(), 1e-9);
+  EXPECT_NEAR(reference.busy_time(), calendar.busy_time(), 1e-9);
   EXPECT_EQ(reference.horizon(), gap.horizon());
+  EXPECT_EQ(reference.horizon(), calendar.horizon());
   // The pattern must actually have exercised the buffer.
   EXPECT_GT(gap.stats().deferred_inserts, 0u);
 }
