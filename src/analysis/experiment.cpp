@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <tuple>
 #include <utility>
@@ -17,6 +16,7 @@
 #include "platform/routing.hpp"
 #include "sched/validate.hpp"
 #include "testbeds/registry.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -220,30 +220,53 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
   return results;
 }
 
+namespace {
+
+/// The process-wide routed-platform cache.  Concurrency contract
+/// (checked statically by -Wthread-safety and dynamically by the TSan
+/// leg via tests/concurrency_stress_test.cpp):
+///   * `entries` is only touched with `mutex` held;
+///   * cached values are shared_ptr<const RoutedPlatform> -- immutable
+///     after construction, so readers on different workers never race
+///     on the pointee;
+///   * construction happens OUTSIDE the lock (it is exactly the
+///     expensive part being cached).  A first-use race can build the
+///     same platform twice; map::emplace keeps the first insert and
+///     every caller -- including the losing builder -- receives that
+///     winning pointer, so per key there is always one canonical value.
+struct TopologyCache {
+  using Key =
+      std::tuple<std::string, std::uint64_t, double, std::vector<double>>;
+  util::Mutex mutex;
+  std::map<Key, std::shared_ptr<const RoutedPlatform>> entries
+      OP_GUARDED_BY(mutex);
+};
+
+TopologyCache& topology_cache() noexcept {
+  // Leaked intentionally (like the timeline/graph default slots): the
+  // cache must outlive every schedule still pointing into a cached
+  // RoutingTable at static-destruction time.
+  static auto* cache = new TopologyCache();
+  return *cache;
+}
+
+}  // namespace
+
 std::shared_ptr<const RoutedPlatform> shared_topology_platform(
     const std::string& topology, const std::vector<double>& cycle_times,
     double link, std::uint64_t seed) {
-  using Key =
-      std::tuple<std::string, std::uint64_t, double, std::vector<double>>;
-  // Leaked intentionally (like the testbed caches): the cache must
-  // outlive every schedule still pointing into a cached RoutingTable at
-  // static-destruction time.
-  static auto* cache =
-      new std::map<Key, std::shared_ptr<const RoutedPlatform>>();
-  static std::mutex mutex;
-  Key key{topology, seed, link, cycle_times};
+  TopologyCache& cache = topology_cache();
+  TopologyCache::Key key{topology, seed, link, cycle_times};
   {
-    const std::lock_guard<std::mutex> lock(mutex);
-    const auto it = cache->find(key);
-    if (it != cache->end()) return it->second;
+    util::MutexLock lock(cache.mutex);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) return it->second;
   }
-  // Build outside the lock -- the construction is exactly the expensive
-  // part being cached, and a duplicate build on a first-use race is
-  // benign: the first insert wins and the loser's copy is dropped.
   auto built = std::make_shared<const RoutedPlatform>(
       make_topology_platform(topology, cycle_times, link, seed));
-  const std::lock_guard<std::mutex> lock(mutex);
-  return cache->emplace(std::move(key), std::move(built)).first->second;
+  util::MutexLock lock(cache.mutex);
+  return cache.entries.emplace(std::move(key), std::move(built))
+      .first->second;
 }
 
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <string_view>
 
+#include "util/env_knobs.hpp"
 #include "util/error.hpp"
 
 namespace oneport {
@@ -37,18 +37,16 @@ TaskGraphSoA::TaskGraphSoA(const TaskGraph& graph) {
 namespace {
 
 GraphPath path_from_env() {
-  const char* env = std::getenv("ONEPORT_GRAPH");
-  if (env != nullptr) {
-    if (std::strcmp(env, "pointer") == 0) return GraphPath::kPointer;
-    if (std::strcmp(env, "soa") == 0) return GraphPath::kSoa;
-    // Mirror the ONEPORT_TIMELINE policy: a typo silently selecting the
-    // default would invalidate differential runs, so be loud (but do not
-    // throw from a static initializer).
-    std::fprintf(stderr,
-                 "oneport: ignoring unknown ONEPORT_GRAPH value '%s' "
-                 "(expected 'pointer' or 'soa'); using soa\n",
-                 env);
-  }
+  const std::string_view env = env::text(env::Knob::kGraph, "soa");
+  if (env == "pointer") return GraphPath::kPointer;
+  if (env == "soa") return GraphPath::kSoa;
+  // Mirror the ONEPORT_TIMELINE policy: a typo silently selecting the
+  // default would invalidate differential runs, so be loud (but do not
+  // throw from a static initializer).
+  std::fprintf(stderr,
+               "oneport: ignoring unknown ONEPORT_GRAPH value '%.*s' "
+               "(expected 'pointer' or 'soa'); using soa\n",
+               static_cast<int>(env.size()), env.data());
   return GraphPath::kSoa;
 }
 

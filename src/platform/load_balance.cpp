@@ -104,7 +104,7 @@ std::int64_t to_integer_cycle_time(double t) {
 // 128-bit helpers for the exact-rational chunk computation.  GCC/Clang
 // guarantee unsigned __int128 on the targets this repo builds for; the
 // overflow checks below make the arithmetic *checked*, not just wider.
-__extension__ typedef unsigned __int128 u128;
+__extension__ using u128 = unsigned __int128;
 
 u128 gcd_u128(u128 a, u128 b) {
   while (b != 0) {

@@ -336,7 +336,7 @@ bool parse_positive_int(const std::string& text, int& out) {
 /// like "mesh3" reports the expected pattern instead of "unknown".
 bool parse_dims(const std::string& name, const std::string& prefix,
                 TopologyDims& out) {
-  if (name.rfind(prefix, 0) != 0) return false;
+  if (!name.starts_with(prefix)) return false;
   const std::string rest = name.substr(prefix.size());
   const std::size_t x = rest.find('x');
   const bool ok = x != std::string::npos &&
@@ -485,7 +485,7 @@ TopologySpec parse_topology_spec(const std::string& topology) {
                                          << base
                                          << "' (xy/alt need a mesh/torus, "
                                             "updown a fattree)");
-    } else if (tok.rfind("het", 0) == 0) {
+    } else if (tok.starts_with("het")) {
       OP_REQUIRE(spec.jitter == 0.0, "duplicate ':het' suffix in '"
                                          << topology << "'");
       double a = 0.0;
@@ -494,7 +494,7 @@ TopologySpec parse_topology_spec(const std::string& topology) {
                                        << "'; expected :het<A> with A in "
                                           "(0, 1)");
       spec.jitter = a;
-    } else if (tok.rfind("hot", 0) == 0) {
+    } else if (tok.starts_with("hot")) {
       OP_REQUIRE(spec.hot == 0.0, "duplicate ':hot' suffix in '" << topology
                                                                  << "'");
       double p = 0.0;
@@ -503,7 +503,7 @@ TopologySpec parse_topology_spec(const std::string& topology) {
                                        << "'; expected :hot<P> with P in "
                                           "(0, 1]");
       spec.hot = p;
-    } else if (tok.rfind("aniso", 0) == 0) {
+    } else if (tok.starts_with("aniso")) {
       OP_REQUIRE(spec.mesh_like(),
                  "':aniso' needs the two dimensions of a mesh/torus, not '"
                      << base << "'");

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <limits>
+#include <string_view>
 
+#include "util/env_knobs.hpp"
 #include "util/error.hpp"
 
 namespace oneport {
@@ -453,21 +453,17 @@ void GapTimeline::flush_pending() {
 namespace {
 
 TimelineImpl impl_from_env() {
-  const char* env = std::getenv("ONEPORT_TIMELINE");
-  if (env != nullptr) {
-    if (std::strcmp(env, "reference") == 0) return TimelineImpl::kReference;
-    if (std::strcmp(env, "gap") == 0 || std::strcmp(env, "gap-indexed") == 0) {
-      return TimelineImpl::kGapIndexed;
-    }
-    if (std::strcmp(env, "calendar") == 0) return TimelineImpl::kCalendar;
-    // A typo silently selecting the default would invalidate differential
-    // runs; be loud (but do not throw from a static initializer).
-    std::fprintf(stderr,
-                 "oneport: ignoring unknown ONEPORT_TIMELINE value '%s' "
-                 "(expected 'reference', 'gap' or 'calendar'); "
-                 "using gap-indexed\n",
-                 env);
-  }
+  const std::string_view env = env::text(env::Knob::kTimeline, "gap");
+  if (env == "reference") return TimelineImpl::kReference;
+  if (env == "gap" || env == "gap-indexed") return TimelineImpl::kGapIndexed;
+  if (env == "calendar") return TimelineImpl::kCalendar;
+  // A typo silently selecting the default would invalidate differential
+  // runs; be loud (but do not throw from a static initializer).
+  std::fprintf(stderr,
+               "oneport: ignoring unknown ONEPORT_TIMELINE value '%.*s' "
+               "(expected 'reference', 'gap' or 'calendar'); "
+               "using gap-indexed\n",
+               static_cast<int>(env.size()), env.data());
   return TimelineImpl::kGapIndexed;
 }
 

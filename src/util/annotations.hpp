@@ -1,0 +1,126 @@
+// Clang thread-safety capability annotations plus the annotated mutex
+// wrappers the rest of the tree locks with.
+//
+// Clang's -Wthread-safety analysis statically proves that every access
+// to an OP_GUARDED_BY member happens with its capability (mutex) held.
+// std::mutex carries no capability attributes (libstdc++ never will), so
+// the analyzable pattern is the usual wrapper pair: a `Mutex` that IS a
+// capability and a scoped `MutexLock` that acquires it.  Under GCC (the
+// local toolchain) every macro expands to nothing and `Mutex` is a plain
+// std::mutex wrapper with zero overhead; the CI clang-tidy job builds
+// with Clang and -DONEPORT_THREAD_SAFETY=ON, which promotes every
+// thread-safety finding to an error (see docs/ARCHITECTURE.md, "Static
+// guarantees").
+//
+// Annotation rules of thumb used in this repo:
+//   * every mutable member shared across threads is OP_GUARDED_BY its
+//     mutex -- if a member legitimately needs no guard (atomics,
+//     write-once-before-threads state), say why in a comment instead;
+//   * private helpers that expect the lock held are OP_REQUIRES;
+//   * condition waits go through `CondVar` with an explicit while-loop
+//     around `wait(lock)` -- no predicate lambdas, because the analysis
+//     treats a lambda body as a separate unannotated function.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Capability attributes exist on Clang (and are inert without
+// -Wthread-safety); everything else sees empty macros.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OP_THREAD_ANNOTATION
+#define OP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define OP_CAPABILITY(name) OP_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define OP_SCOPED_CAPABILITY OP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define OP_GUARDED_BY(x) OP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define OP_PT_GUARDED_BY(x) OP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held.
+#define OP_REQUIRES(...) \
+  OP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability (and returns holding it).
+#define OP_ACQUIRE(...) \
+  OP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability.
+#define OP_RELEASE(...) \
+  OP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held
+/// (deadlock-prevention annotation for functions that acquire it).
+#define OP_EXCLUDES(...) OP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch; pair it with a comment explaining why the analysis is
+/// wrong (e.g. single-threaded construction).
+#define OP_NO_THREAD_SAFETY_ANALYSIS \
+  OP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace oneport::util {
+
+/// std::mutex as a Clang capability.  Same size, same codegen; the
+/// attribute only feeds the static analysis.
+class OP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OP_ACQUIRE() { mutex_.lock(); }
+  void unlock() OP_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped acquisition of a `Mutex` (the annotated std::lock_guard).
+/// Also a BasicLockable so `CondVar` can release/reacquire it around a
+/// wait; the re-lock methods carry the matching annotations so an
+/// explicit unlock()/lock() pair stays analyzable.
+class OP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) OP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() OP_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() OP_ACQUIRE() { mutex_.lock(); }
+  void unlock() OP_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable over `Mutex`.  wait() drops and reacquires the
+/// lock through MutexLock's annotated lock()/unlock(), so callers keep
+/// the usual pattern:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);   // ready_ is OP_GUARDED_BY(mutex_)
+class CondVar {
+ public:
+  void wait(MutexLock& lock) { cv_.wait(lock); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace oneport::util

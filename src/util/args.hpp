@@ -16,7 +16,7 @@ class Args {
   Args(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
+      if (arg.starts_with("--")) {
         const std::size_t eq = arg.find('=');
         if (eq == std::string::npos) {
           options_[arg.substr(2)] = "";
@@ -30,7 +30,7 @@ class Args {
   }
 
   [[nodiscard]] bool has(const std::string& key) const {
-    return options_.count(key) > 0;
+    return options_.contains(key);
   }
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {

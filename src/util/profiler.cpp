@@ -1,9 +1,9 @@
 #include "util/profiler.hpp"
 
-#include <cstdlib>
-#include <cstring>
 #include <memory>
-#include <mutex>
+
+#include "util/annotations.hpp"
+#include "util/env_knobs.hpp"
 
 namespace oneport::prof {
 
@@ -33,35 +33,33 @@ namespace detail {
 
 namespace {
 
-bool env_enabled() noexcept {
-  const char* env = std::getenv("ONEPORT_PROFILE");
-  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
-}
-
 /// Slab registry: grows, never shrinks.  Threads die but their counters
 /// keep counting toward the aggregate, which is exactly what a run-level
 /// profile wants.  Leaked intentionally so worker threads racing process
-/// teardown never touch a destroyed registry.
-std::mutex& registry_mutex() noexcept {
-  static auto* m = new std::mutex();
-  return *m;
-}
+/// teardown never touch a destroyed registry.  The slab list is guarded;
+/// the counters inside each slab are relaxed atomics written only by the
+/// owning thread, so aggregation never needs to stop the writers.
+struct SlabRegistry {
+  util::Mutex mutex;
+  std::vector<std::unique_ptr<Slab>> slabs OP_GUARDED_BY(mutex);
+};
 
-std::vector<std::unique_ptr<Slab>>& registry() noexcept {
-  static auto* slabs = new std::vector<std::unique_ptr<Slab>>();
-  return *slabs;
+SlabRegistry& registry() noexcept {
+  static auto* r = new SlabRegistry();
+  return *r;
 }
 
 }  // namespace
 
-std::atomic<bool> g_enabled{env_enabled()};
+std::atomic<bool> g_enabled{env::flag(env::Knob::kProfile)};
 
 void bump_slow(Counter c, std::uint64_t n) noexcept {
   thread_local Slab* slab = nullptr;
   if (slab == nullptr) {
-    const std::lock_guard<std::mutex> lock(registry_mutex());
-    registry().push_back(std::make_unique<Slab>());
-    slab = registry().back().get();
+    SlabRegistry& reg = registry();
+    util::MutexLock lock(reg.mutex);
+    reg.slabs.push_back(std::make_unique<Slab>());
+    slab = reg.slabs.back().get();
   }
   auto& slot = slab->counts[static_cast<std::size_t>(c)];
   slot.store(slot.load(std::memory_order_relaxed) + n,
@@ -75,15 +73,17 @@ void set_enabled(bool on) noexcept {
 }
 
 std::size_t slab_count() noexcept {
-  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
-  return detail::registry().size();
+  detail::SlabRegistry& reg = detail::registry();
+  util::MutexLock lock(reg.mutex);
+  return reg.slabs.size();
 }
 
 std::vector<Counts> per_thread() {
-  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
+  detail::SlabRegistry& reg = detail::registry();
+  util::MutexLock lock(reg.mutex);
   std::vector<Counts> out;
-  out.reserve(detail::registry().size());
-  for (const auto& slab : detail::registry()) {
+  out.reserve(reg.slabs.size());
+  for (const auto& slab : reg.slabs) {
     Counts counts{};
     for (std::size_t i = 0; i < kNumCounters; ++i) {
       counts[i] = slab->counts[i].load(std::memory_order_relaxed);
@@ -95,8 +95,9 @@ std::vector<Counts> per_thread() {
 
 Counts aggregate() noexcept {
   Counts total{};
-  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
-  for (const auto& slab : detail::registry()) {
+  detail::SlabRegistry& reg = detail::registry();
+  util::MutexLock lock(reg.mutex);
+  for (const auto& slab : reg.slabs) {
     for (std::size_t i = 0; i < kNumCounters; ++i) {
       total[i] += slab->counts[i].load(std::memory_order_relaxed);
     }
@@ -105,8 +106,9 @@ Counts aggregate() noexcept {
 }
 
 void reset() noexcept {
-  const std::lock_guard<std::mutex> lock(detail::registry_mutex());
-  for (const auto& slab : detail::registry()) {
+  detail::SlabRegistry& reg = detail::registry();
+  util::MutexLock lock(reg.mutex);
+  for (const auto& slab : reg.slabs) {
     for (auto& slot : slab->counts) {
       slot.store(0, std::memory_order_relaxed);
     }

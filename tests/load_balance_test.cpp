@@ -16,7 +16,7 @@
 namespace oneport {
 namespace {
 
-__extension__ typedef unsigned __int128 u128;
+__extension__ using u128 = unsigned __int128;
 
 // ------------------------------------ perfect_balance_chunk regressions
 

@@ -11,12 +11,12 @@
 // resets the counters it produced.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <string>
 
 #include "core/registry.hpp"
 #include "sched/schedule.hpp"
 #include "support/scenario.hpp"
+#include "util/env_knobs.hpp"
 #include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
 
@@ -38,8 +38,7 @@ Schedule run_heft(const Scenario& scenario) {
 // though the scheduling hot path calls prof::bump() millions of times.
 // MUST STAY THE FIRST TEST IN THIS FILE (see header comment).
 TEST(ProfilerDisabled, NeverAllocatesSlabsOrMovesCounters) {
-  const char* env = std::getenv("ONEPORT_PROFILE");
-  if (env != nullptr && std::string(env) != "0" && std::string(env) != "") {
+  if (env::flag(env::Knob::kProfile)) {
     GTEST_SKIP() << "ONEPORT_PROFILE is set: slabs legitimately exist";
   }
   ASSERT_FALSE(prof::enabled());

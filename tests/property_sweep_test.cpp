@@ -15,11 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/registry.hpp"
+#include "util/env_knobs.hpp"
 #include "dynamic/events.hpp"
 #include "graph/soa_view.hpp"
 #include "dynamic/reschedule.hpp"
@@ -106,8 +106,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RoutedPropertySweepTest,
 // default 7x6 sweep with <count> extra seeded sweeps -- no rebuild
 // needed, just the environment variable.
 TEST(PropertySweepExtended, HonorsEnvSeedCount) {
-  const char* env = std::getenv("ONEPORT_SWEEP_SEEDS");
-  const long extra = env != nullptr ? std::strtol(env, nullptr, 10) : 0;
+  const long extra = env::integer(env::Knob::kSweepSeeds, 0);
   if (extra <= 0) {
     GTEST_SKIP() << "set ONEPORT_SWEEP_SEEDS=<count> to deepen the sweep";
   }

@@ -290,7 +290,7 @@ std::vector<std::string> check_epoch_validity(const DynamicScenario& scenario,
         const TaskId v = e.task;
         const TaskPlacement& sv = sched.task(v);
         if (!sv.placed()) {
-          if (by_edge.count({u, v}) != 0) {
+          if (by_edge.contains({u, v})) {
             errors.push_back(tag + "live chain for edge to unplaced task " +
                              std::to_string(v));
           }

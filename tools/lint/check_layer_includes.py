@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Architecture lint: enforce the src/ layer DAG on intra-repo includes.
+
+Reads tools/lint/layer_manifest.json (layer -> direct dependencies),
+closes the relation transitively, then scans every C++ file under src/
+for `#include "layer/..."` directives.  A file in layer L may include
+only L itself and L's (transitive) dependencies; anything else is an
+upward or sideways edge that breaks the architecture documented in
+docs/ARCHITECTURE.md, and fails the build here instead of surfacing as
+an unbuildable refactor three PRs later.
+
+Usage:
+  tools/lint/check_layer_includes.py              # lint the repo
+  tools/lint/check_layer_includes.py --self-test  # prove the lint can fail
+
+The self-test materializes a synthetic violation (a util/ file including
+core/) in a temp tree and asserts this script reports it -- CI runs it
+so the gate cannot rot into a green no-op.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+import tempfile
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SUFFIXES = {".hpp", ".h", ".cpp", ".cc"}
+
+
+def load_manifest(path: pathlib.Path) -> tuple[str, dict[str, set[str]]]:
+    data = json.loads(path.read_text())
+    layers = {name: set(deps) for name, deps in data["layers"].items()}
+    for name, deps in layers.items():
+        unknown = deps - layers.keys()
+        if unknown:
+            raise SystemExit(
+                f"manifest error: layer '{name}' depends on unknown "
+                f"layer(s) {sorted(unknown)}"
+            )
+    # Transitive closure: a layer sees its dependencies' dependencies.
+    closed: dict[str, set[str]] = {}
+
+    def close(name: str, stack: tuple[str, ...] = ()) -> set[str]:
+        if name in stack:
+            cycle = " -> ".join(stack + (name,))
+            raise SystemExit(f"manifest error: dependency cycle {cycle}")
+        if name not in closed:
+            deps = set(layers[name])
+            for dep in layers[name]:
+                deps |= close(dep, stack + (name,))
+            closed[name] = deps
+        return closed[name]
+
+    for name in layers:
+        close(name)
+    return data["root"], closed
+
+
+def lint_tree(repo: pathlib.Path) -> list[str]:
+    root_name, allowed = load_manifest(repo / "tools/lint/layer_manifest.json")
+    root = repo / root_name
+    errors: list[str] = []
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in SUFFIXES:
+            continue
+        rel = path.relative_to(root)
+        layer = rel.parts[0]
+        if layer not in allowed:
+            errors.append(f"{root_name}/{rel}: not in a manifest layer")
+            continue
+        for lineno, line in enumerate(
+            path.read_text(errors="replace").splitlines(), start=1
+        ):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            target = match.group(1).split("/")[0]
+            if target not in allowed:
+                continue  # not an intra-repo layer include (e.g. gtest)
+            if target == layer or target in allowed[layer]:
+                continue
+            errors.append(
+                f"{root_name}/{rel}:{lineno}: layer '{layer}' may not "
+                f"include '{match.group(1)}' (allowed: "
+                f"{', '.join(sorted(allowed[layer] | {layer}))})"
+            )
+    return errors
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        repo = pathlib.Path(tmp)
+        (repo / "tools/lint").mkdir(parents=True)
+        (repo / "tools/lint/layer_manifest.json").write_text(
+            json.dumps(
+                {"root": "src", "layers": {"util": [], "core": ["util"]}}
+            )
+        )
+        (repo / "src/util").mkdir(parents=True)
+        (repo / "src/core").mkdir(parents=True)
+        # Legal tree first: core -> util is allowed.
+        (repo / "src/core/a.cpp").write_text('#include "util/b.hpp"\n')
+        (repo / "src/util/b.hpp").write_text("#pragma once\n")
+        if lint_tree(repo):
+            print("self-test FAILED: clean tree reported errors")
+            return 1
+        # Inject the violation: util reaching up into core.
+        (repo / "src/util/b.hpp").write_text(
+            '#pragma once\n#include "core/a.hpp"\n'
+        )
+        errors = lint_tree(repo)
+        if not errors or "util" not in errors[0]:
+            print("self-test FAILED: injected upward include not caught")
+            return 1
+    print("check_layer_includes self-test OK (injected violation caught)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[2])
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    errors = lint_tree(args.repo)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"check_layer_includes: {len(errors)} violation(s)")
+        return 1
+    print("check_layer_includes: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
