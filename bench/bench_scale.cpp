@@ -44,6 +44,7 @@
 
 #include "analysis/experiment.hpp"
 #include "core/heft.hpp"
+#include "service/scheduler_service.hpp"
 #include "core/ilha.hpp"
 #include "core/registry.hpp"
 #include "dynamic/events.hpp"
@@ -478,6 +479,88 @@ void register_sweep_benchmarks() {
   }
 }
 
+void register_service_benchmarks() {
+  // Scheduler-as-a-service (the ISSUE-9 tentpole) on the trajectory:
+  // replay a deterministic mixed-size request stream through a
+  // SchedulerService and track (a) sustained schedules/sec and (b) the
+  // p99 enqueue-to-completion latency.  The service is constructed once
+  // per bench (thread startup stays out of the timing loop); each
+  // iteration submits the whole stream and drains, so the timed quantity
+  // is exactly one replay -- queue admission, batched drains, per-shard
+  // cache lookups, and the run_sweep_point execution itself.  Fixed
+  // shards/batch/depth so the bench shape does not depend on the host's
+  // core count.
+  const auto make_stream = [] {
+    const char* testbeds[] = {"FORK-JOIN", "LU", "STENCIL"};
+    const int sizes[] = {10, 20, 40};
+    const char* schedulers[] = {"heft-oneport", "ilha-oneport"};
+    std::vector<analysis::SweepPoint> stream;
+    for (std::size_t i = 0; i < 32; ++i) {
+      analysis::SweepPoint point;
+      point.testbed = testbeds[i % 3];
+      point.size = sizes[(i / 3) % 3];
+      point.scheduler = schedulers[(i / 9) % 2];
+      stream.push_back(point);
+    }
+    return stream;
+  };
+  const auto make_options = [] {
+    service::ServiceOptions options;
+    options.shards = 2;
+    options.queue_depth = 64;
+    options.batch_size = 4;
+    options.backpressure = service::Backpressure::kBlock;
+    return options;
+  };
+
+  benchmark::RegisterBenchmark(
+      "service/throughput",
+      [make_stream, make_options](benchmark::State& state) {
+        service::SchedulerService svc(paper_platform(), make_options());
+        const std::vector<analysis::SweepPoint> stream = make_stream();
+        prof::reset();
+        for (auto _ : state) {
+          for (const analysis::SweepPoint& point : stream) {
+            const service::Ticket ticket = svc.submit(point);
+            OP_ASSERT(ticket.accepted,
+                      "block-mode submit rejected a service bench request");
+          }
+          svc.drain();
+        }
+        state.counters["schedules_per_s"] = benchmark::Counter(
+            static_cast<double>(stream.size()),
+            benchmark::Counter::kIsIterationInvariantRate);
+        state.counters["requests"] = static_cast<double>(stream.size());
+        attach_profile_counters(state);
+      })
+      ->Unit(benchmark::kMillisecond);
+
+  benchmark::RegisterBenchmark(
+      "service/latency-p99",
+      [make_stream, make_options](benchmark::State& state) {
+        service::SchedulerService svc(paper_platform(), make_options());
+        const std::vector<analysis::SweepPoint> stream = make_stream();
+        prof::reset();
+        for (auto _ : state) {
+          for (const analysis::SweepPoint& point : stream) {
+            const service::Ticket ticket = svc.submit(point);
+            OP_ASSERT(ticket.accepted,
+                      "block-mode submit rejected a service bench request");
+          }
+          svc.drain();
+        }
+        // Percentiles over every completed request across the timing
+        // loop (more iterations = a better-populated tail).
+        const std::vector<std::uint64_t> latencies = svc.latencies_ns();
+        state.counters["latency_p50_ms"] =
+            service::latency_percentile_ms(latencies, 0.50);
+        state.counters["latency_p99_ms"] =
+            service::latency_percentile_ms(latencies, 0.99);
+        attach_profile_counters(state);
+      })
+      ->Unit(benchmark::kMillisecond);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -486,6 +569,7 @@ int main(int argc, char** argv) {
   register_reschedule_benchmarks();
   register_timeline_benchmarks();
   register_sweep_benchmarks();
+  register_service_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,13 +1,12 @@
 #include "analysis/experiment.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
 #include <ostream>
-#include <tuple>
 #include <utility>
 
 #include "analysis/metrics.hpp"
+#include "analysis/topology_cache.hpp"
 #include "core/heft.hpp"
 #include "core/ilha.hpp"
 #include "core/registry.hpp"
@@ -16,7 +15,6 @@
 #include "platform/routing.hpp"
 #include "sched/validate.hpp"
 #include "testbeds/registry.hpp"
-#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -140,133 +138,99 @@ std::vector<SweepPoint> make_sweep_grid(
   return grid;
 }
 
+SweepResult run_sweep_point(const SweepPoint& point, const Platform& platform,
+                            const SweepOptions& options,
+                            TopologyCacheShard* cache) {
+  const testbeds::TestbedEntry testbed = testbeds::find_testbed(point.testbed);
+  const TaskGraph graph = testbed.make(point.size, point.comm_ratio);
+
+  // Routed points share one immutable platform + RoutingTable per
+  // (topology, seed) through a cache: each cell stays a pure function of
+  // its inputs, but the Floyd-Warshall / structured-route construction
+  // runs once per network, not once per point.  A caller-owned shard
+  // (the scheduler service) is consulted directly; everyone else routes
+  // by key hash through the process-wide sharded cache.
+  const bool routed = point.topology != "full";
+  std::shared_ptr<const RoutedPlatform> sparse;
+  if (routed) {
+    sparse = cache != nullptr
+                 ? cache->get(point.topology, platform.cycle_times(),
+                              /*link=*/1.0, point.topology_seed)
+                 : shared_topology_platform(point.topology,
+                                            platform.cycle_times(),
+                                            /*link=*/1.0, point.topology_seed);
+  }
+  const Platform& target = routed ? sparse->platform : platform;
+  const SchedulerConfig config{
+      .ilha_chunk_size = point.chunk_size,
+      .routing = routed ? &sparse->routing : nullptr};
+  const SchedulerEntry scheduler = find_scheduler(point.scheduler, config);
+  Schedule schedule = scheduler.run(graph, target);
+
+  double imbalance_before = 0.0;
+  double imbalance_after = 0.0;
+  if (point.events != "none") {
+    // Dynamic point: derive the named fault trace from the static
+    // schedule's makespan and replay the run through the online
+    // rescheduler.  The static validators cannot judge the composite
+    // (durations follow epoch-dependent cycle times, superseded
+    // messages hold ports without delivering), so correctness rests on
+    // run_dynamic's internal invariants -- the timelines themselves
+    // reject any conflicting reservation.
+    const dyn::EventTrace trace = dyn::make_named_trace(
+        point.events, graph, target, schedule, point.topology_seed);
+    dyn::DynamicOptions dyn_options;
+    dyn_options.model = is_one_port(point.scheduler)
+                            ? CommModel::kOnePort
+                            : CommModel::kMacroDataflow;
+    dyn_options.rebalance = point.rebalance;
+    const dyn::DynamicResult dynamic = dyn::run_dynamic(
+        graph, target, point.scheduler, config, trace, dyn_options);
+    schedule = dynamic.schedule;
+    // Report the worst epoch skew: per epoch the rebalancing pass never
+    // increases the imbalance, so max(after) <= max(before) and the
+    // before/after pair shows directly how much the pass bought.
+    for (const dyn::EpochSnapshot& epoch : dynamic.epochs) {
+      imbalance_before = std::max(imbalance_before, epoch.imbalance_before);
+      imbalance_after = std::max(imbalance_after, epoch.imbalance_after);
+    }
+  } else if (options.validate) {
+    const ValidationResult result =
+        is_one_port(point.scheduler)
+            ? validate_one_port(schedule, graph, target)
+            : validate_macro_dataflow(schedule, graph, target);
+    ensure(result.ok(), point.scheduler + " schedule invalid for " +
+                            point.topology + "/" + point.testbed + "(" +
+                            std::to_string(point.size) +
+                            "): " + result.message());
+  }
+
+  SweepResult out;
+  out.point = point;
+  out.num_tasks = graph.num_tasks();
+  out.makespan = schedule.makespan();
+  out.speedup = speedup(graph, target, schedule);
+  out.num_comms = schedule.num_comms();
+  out.imbalance_before = imbalance_before;
+  out.imbalance_after = imbalance_after;
+  return out;
+}
+
 std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& grid,
                                    const Platform& platform,
                                    const SweepOptions& options) {
   std::vector<SweepResult> results(grid.size());
   ThreadPool pool(resolve_workers(options.workers));
   pool.parallel_for(grid.size(), [&](std::size_t i) {
-    const SweepPoint& point = grid[i];
-    const testbeds::TestbedEntry testbed =
-        testbeds::find_testbed(point.testbed);
-    const TaskGraph graph = testbed.make(point.size, point.comm_ratio);
-
-    // Routed points share one immutable platform + RoutingTable per
-    // (topology, seed) through the process-wide cache: each grid cell
-    // stays a pure function of its inputs, but the Floyd-Warshall /
-    // structured-route construction runs once per network, not once per
-    // point.
-    const bool routed = point.topology != "full";
-    std::shared_ptr<const RoutedPlatform> sparse;
-    if (routed) {
-      sparse = shared_topology_platform(point.topology,
-                                        platform.cycle_times(),
-                                        /*link=*/1.0, point.topology_seed);
-    }
-    const Platform& target = routed ? sparse->platform : platform;
-    const SchedulerConfig config{
-        .ilha_chunk_size = point.chunk_size,
-        .routing = routed ? &sparse->routing : nullptr};
-    const SchedulerEntry scheduler = find_scheduler(point.scheduler, config);
-    Schedule schedule = scheduler.run(graph, target);
-
-    double imbalance_before = 0.0;
-    double imbalance_after = 0.0;
-    if (point.events != "none") {
-      // Dynamic point: derive the named fault trace from the static
-      // schedule's makespan and replay the run through the online
-      // rescheduler.  The static validators cannot judge the composite
-      // (durations follow epoch-dependent cycle times, superseded
-      // messages hold ports without delivering), so correctness rests on
-      // run_dynamic's internal invariants -- the timelines themselves
-      // reject any conflicting reservation.
-      const dyn::EventTrace trace = dyn::make_named_trace(
-          point.events, graph, target, schedule, point.topology_seed);
-      dyn::DynamicOptions dyn_options;
-      dyn_options.model = is_one_port(point.scheduler)
-                              ? CommModel::kOnePort
-                              : CommModel::kMacroDataflow;
-      dyn_options.rebalance = point.rebalance;
-      const dyn::DynamicResult dynamic = dyn::run_dynamic(
-          graph, target, point.scheduler, config, trace, dyn_options);
-      schedule = dynamic.schedule;
-      // Report the worst epoch skew: per epoch the rebalancing pass never
-      // increases the imbalance, so max(after) <= max(before) and the
-      // before/after pair shows directly how much the pass bought.
-      for (const dyn::EpochSnapshot& epoch : dynamic.epochs) {
-        imbalance_before = std::max(imbalance_before, epoch.imbalance_before);
-        imbalance_after = std::max(imbalance_after, epoch.imbalance_after);
-      }
-    } else if (options.validate) {
-      const ValidationResult result =
-          is_one_port(point.scheduler)
-              ? validate_one_port(schedule, graph, target)
-              : validate_macro_dataflow(schedule, graph, target);
-      ensure(result.ok(), point.scheduler + " schedule invalid for " +
-                              point.topology + "/" + point.testbed + "(" +
-                              std::to_string(point.size) +
-                              "): " + result.message());
-    }
-
-    SweepResult& out = results[i];
-    out.point = point;
-    out.num_tasks = graph.num_tasks();
-    out.makespan = schedule.makespan();
-    out.speedup = speedup(graph, target, schedule);
-    out.num_comms = schedule.num_comms();
-    out.imbalance_before = imbalance_before;
-    out.imbalance_after = imbalance_after;
+    results[i] = run_sweep_point(grid[i], platform, options);
   });
   return results;
 }
 
-namespace {
-
-/// The process-wide routed-platform cache.  Concurrency contract
-/// (checked statically by -Wthread-safety and dynamically by the TSan
-/// leg via tests/concurrency_stress_test.cpp):
-///   * `entries` is only touched with `mutex` held;
-///   * cached values are shared_ptr<const RoutedPlatform> -- immutable
-///     after construction, so readers on different workers never race
-///     on the pointee;
-///   * construction happens OUTSIDE the lock (it is exactly the
-///     expensive part being cached).  A first-use race can build the
-///     same platform twice; map::emplace keeps the first insert and
-///     every caller -- including the losing builder -- receives that
-///     winning pointer, so per key there is always one canonical value.
-struct TopologyCache {
-  using Key =
-      std::tuple<std::string, std::uint64_t, double, std::vector<double>>;
-  util::Mutex mutex;
-  std::map<Key, std::shared_ptr<const RoutedPlatform>> entries
-      OP_GUARDED_BY(mutex);
-};
-
-TopologyCache& topology_cache() noexcept {
-  // Leaked intentionally (like the timeline/graph default slots): the
-  // cache must outlive every schedule still pointing into a cached
-  // RoutingTable at static-destruction time.
-  static auto* cache = new TopologyCache();
-  return *cache;
-}
-
-}  // namespace
-
 std::shared_ptr<const RoutedPlatform> shared_topology_platform(
     const std::string& topology, const std::vector<double>& cycle_times,
     double link, std::uint64_t seed) {
-  TopologyCache& cache = topology_cache();
-  TopologyCache::Key key{topology, seed, link, cycle_times};
-  {
-    util::MutexLock lock(cache.mutex);
-    const auto it = cache.entries.find(key);
-    if (it != cache.entries.end()) return it->second;
-  }
-  auto built = std::make_shared<const RoutedPlatform>(
-      make_topology_platform(topology, cycle_times, link, seed));
-  util::MutexLock lock(cache.mutex);
-  return cache.entries.emplace(std::move(key), std::move(built))
-      .first->second;
+  return process_topology_cache().get(topology, cycle_times, link, seed);
 }
 
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/topology_cache.hpp"
 #include "platform/platform.hpp"
 #include "platform/routing.hpp"
 #include "util/csv.hpp"
@@ -141,6 +142,18 @@ struct SweepOptions {
     const std::vector<SweepPoint>& grid, const Platform& platform,
     const SweepOptions& options = {});
 
+/// Runs ONE grid point -- the exact code path run_sweep farms across the
+/// thread pool, exposed so other executors (the scheduler service in
+/// src/service/) produce bit-identical results by construction.  Routed
+/// points resolve their network through `cache` when given (a
+/// scheduler-service worker passes the shard it owns, making routed
+/// lookups contention-free) and through the process-wide sharded cache
+/// otherwise.
+[[nodiscard]] SweepResult run_sweep_point(const SweepPoint& point,
+                                          const Platform& platform,
+                                          const SweepOptions& options = {},
+                                          TopologyCacheShard* cache = nullptr);
+
 /// Formats sweep results as one row per grid point.
 [[nodiscard]] csv::Table sweep_table(const std::vector<SweepResult>& rows);
 
@@ -156,6 +169,13 @@ struct SweepOptions {
 /// "mesh3x3:swp", and "mesh3x3:het0.5" (or the same ':het' shape under
 /// two seeds) can never alias; cycle times participate too, so two
 /// sweeps over different base platforms stay distinct.
+///
+/// Since the scheduler-service PR this is a compatibility shim over the
+/// sharded cache (analysis/topology_cache.hpp): calls route by key hash
+/// through `process_topology_cache()`, so distinct networks build under
+/// distinct locks.  The old single-mutex global path is gone; the
+/// one-instance-per-key contract is unchanged and still pinned by
+/// tests/concurrency_stress_test.cpp.
 [[nodiscard]] std::shared_ptr<const RoutedPlatform> shared_topology_platform(
     const std::string& topology, const std::vector<double>& cycle_times,
     double link = 1.0, std::uint64_t seed = 1);

@@ -18,6 +18,10 @@ constexpr std::array<KnobInfo, kNumKnobs> kCatalog = {{
     {"ONEPORT_GRAPH", "soa", "src/graph/soa_view.cpp", "task-graph iteration path: soa | pointer"},
     {"ONEPORT_WORKERS", "hardware", "src/util/thread_pool.hpp", "default thread-pool width for run_figure/run_sweep (0 or unset = hardware concurrency)"},
     {"ONEPORT_SWEEP_SEEDS", "0", "tests/property_sweep_test.cpp", "extra seeded property-sweep repetitions for CI/nightly deepening"},
+    {"ONEPORT_SERVICE_SHARDS", "hardware", "src/service/scheduler_service.cpp", "scheduler-service shard workers, each owning a routed-platform cache shard (0 or unset = hardware concurrency)"},
+    {"ONEPORT_SERVICE_QUEUE_DEPTH", "256", "src/service/scheduler_service.cpp", "bound on the scheduler-service request queue; a full queue engages the backpressure policy"},
+    {"ONEPORT_SERVICE_BATCH", "8", "src/service/scheduler_service.cpp", "max requests a service worker drains per wake (batched admission)"},
+    {"ONEPORT_SERVICE_BACKPRESSURE", "block", "src/service/scheduler_service.cpp", "full-queue policy: block submitters | reject with a retry-after hint"},
 }};
 
 }  // namespace

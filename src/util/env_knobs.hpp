@@ -27,11 +27,15 @@ namespace oneport::env {
 /// Every runtime ONEPORT_* knob.  Keep the catalog table in
 /// env_knobs.cpp and docs/KNOBS.md in sync (the lint checks both).
 enum class Knob : std::size_t {
-  kProfile = 0,  ///< ONEPORT_PROFILE: enable the per-thread profiler
-  kTimeline,     ///< ONEPORT_TIMELINE: timeline implementation
-  kGraph,        ///< ONEPORT_GRAPH: task-graph iteration path
-  kWorkers,      ///< ONEPORT_WORKERS: default thread-pool width
-  kSweepSeeds,   ///< ONEPORT_SWEEP_SEEDS: extra property-sweep seeds
+  kProfile = 0,         ///< ONEPORT_PROFILE: enable the per-thread profiler
+  kTimeline,            ///< ONEPORT_TIMELINE: timeline implementation
+  kGraph,               ///< ONEPORT_GRAPH: task-graph iteration path
+  kWorkers,             ///< ONEPORT_WORKERS: default thread-pool width
+  kSweepSeeds,          ///< ONEPORT_SWEEP_SEEDS: extra property-sweep seeds
+  kServiceShards,       ///< ONEPORT_SERVICE_SHARDS: scheduler-service workers
+  kServiceQueueDepth,   ///< ONEPORT_SERVICE_QUEUE_DEPTH: bounded queue size
+  kServiceBatch,        ///< ONEPORT_SERVICE_BATCH: admission batch size K
+  kServiceBackpressure, ///< ONEPORT_SERVICE_BACKPRESSURE: block | reject
   kCount,
 };
 

@@ -22,6 +22,10 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kCalendarShifts: return "calendar_shifts";
     case Counter::kPoolTasks: return "pool_tasks";
     case Counter::kPoolTaskNanos: return "pool_task_nanos";
+    case Counter::kServiceRequests: return "service_requests";
+    case Counter::kServiceBatches: return "service_batches";
+    case Counter::kServiceRejects: return "service_rejects";
+    case Counter::kServiceLatencyNanos: return "service_latency_nanos";
     case Counter::kCount: break;
   }
   return "unknown";

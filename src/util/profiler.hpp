@@ -47,6 +47,10 @@ enum class Counter : std::uint32_t {
   kCalendarShifts,         ///< CalendarTimeline in-bucket segment shifts
   kPoolTasks,              ///< thread-pool jobs executed
   kPoolTaskNanos,          ///< total wall nanoseconds inside pool jobs
+  kServiceRequests,        ///< scheduler-service requests completed
+  kServiceBatches,         ///< scheduler-service admission batches drained
+  kServiceRejects,         ///< requests rejected by backpressure
+  kServiceLatencyNanos,    ///< total enqueue-to-completion nanoseconds
   kCount,
 };
 

@@ -1,7 +1,9 @@
 // Concurrency stress for the repo's three load-bearing shared-state
 // sites: the thread pool (contended submit/drain, exceptions inside
-// tasks), the process-wide shared_topology_platform cache, and the
-// profiler's per-thread slab registry.
+// tasks), the sharded routed-platform cache behind the
+// shared_topology_platform shim, and the profiler's per-thread slab
+// registry.  (The scheduler service built on top of all three has its
+// own battery in tests/service_test.cpp.)
 //
 // These suites are the dynamic half of the static correctness layer:
 // Clang -Wthread-safety proves lock discipline over the
@@ -23,6 +25,7 @@
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "analysis/topology_cache.hpp"
 #include "platform/routing.hpp"
 #include "util/profiler.hpp"
 #include "util/thread_pool.hpp"
@@ -118,6 +121,10 @@ TEST(ThreadPoolStress, DestructorDrainsQueuedJobs) {
 // map::emplace keeps the first insert and hands the winner to every
 // caller, losers included.  Run under TSan this also proves the
 // build-outside-the-lock window touches no shared mutable state.
+// Since the scheduler-service PR the shim hash-routes every call into
+// the process-wide ShardedTopologyCache, so this same test now pins the
+// contract across shard boundaries too (the key set below spans
+// multiple shards).
 TEST(TopologyCacheStress, ConcurrentHitsShareOneInstancePerKey) {
   const std::vector<double> cycles{4.0, 5.0, 6.0, 10.0};
   const std::vector<std::string> names{"ring", "star", "mesh2x2",
@@ -139,6 +146,34 @@ TEST(TopologyCacheStress, ConcurrentHitsShareOneInstancePerKey) {
             << "cache returned two instances for one key (" << i << ", " << j
             << ")";
       }
+    }
+  }
+}
+
+// The sharded cache singleton under a wide key set: distinct keys land
+// in distinct shards (distinct locks), and re-demanding the whole set
+// concurrently must neither rebuild nor cross wires between shards.
+TEST(TopologyCacheStress, ShardedSingletonHoldsAcrossWideKeySet) {
+  analysis::ShardedTopologyCache& cache = analysis::process_topology_cache();
+  const std::vector<double> cycles{3.0, 7.0, 9.0};
+  const std::vector<std::string> names{"ring", "star", "line", "mesh2x2",
+                                       "torus2x2", "fattree1x2"};
+  constexpr std::size_t kLookups = 240;
+  std::vector<std::shared_ptr<const RoutedPlatform>> got(kLookups);
+  ThreadPool pool(kWorkers);
+  pool.parallel_for(kLookups, [&](std::size_t i) {
+    got[i] = cache.get(names[i % names.size()], cycles, /*link=*/1.0,
+                       /*seed=*/7 + i % 4);
+  });
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    ASSERT_NE(got[i], nullptr);
+    // Same key (name, seed) => same instance, even when routed through
+    // different submitting threads and resolved in different orders.
+    const std::size_t peer = i + names.size() * 4;
+    if (peer < kLookups) {
+      EXPECT_EQ(got[i].get(), got[peer].get())
+          << "sharded cache returned two instances for one key (" << i
+          << ", " << peer << ")";
     }
   }
 }

@@ -1,0 +1,305 @@
+// Concurrency + correctness battery for the scheduler service (the
+// ISSUE-9 tentpole).  Labeled quick AND pool: the Debug CI leg runs it
+// for fast feedback and the TSan leg replays it for races across the
+// request queue, the shard workers, and the per-shard topology caches.
+//
+// The load-bearing pins:
+//   * a schedule produced through the service is BIT-identical to the
+//     same SweepPoint run through analysis::run_sweep -- both paths call
+//     run_sweep_point, and this suite keeps that true from the outside;
+//   * the per-shard routed-platform cache returns one instance per key
+//     no matter how many threads demand it concurrently (the contract
+//     the old process-wide cache had, now held per shard);
+//   * backpressure is principled: block-mode submitters park and every
+//     request completes; reject-mode tickets partition cleanly into
+//     accepted (future resolves) and rejected (retry-after hint, no id
+//     consumed), and submitting after stop() always rejects.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/topology_cache.hpp"
+#include "platform/platform.hpp"
+#include "platform/routing.hpp"
+#include "service/scheduler_service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace oneport {
+namespace {
+
+constexpr unsigned kWorkers = 4;
+
+analysis::SweepPoint make_point(const std::string& testbed, int size,
+                                const std::string& scheduler,
+                                const std::string& topology = "full") {
+  analysis::SweepPoint point;
+  point.testbed = testbed;
+  point.size = size;
+  point.scheduler = scheduler;
+  point.topology = topology;
+  return point;
+}
+
+// A small mixed grid covering both heuristics, two testbeds, and a
+// routed topology -- the shapes the service replays in production.
+std::vector<analysis::SweepPoint> mixed_grid() {
+  return {
+      make_point("FORK-JOIN", 20, "heft-oneport"),
+      make_point("LU", 40, "ilha-oneport"),
+      make_point("FORK-JOIN", 30, "ilha-oneport"),
+      make_point("LU", 20, "heft-oneport", "ring"),
+      make_point("STENCIL", 25, "heft-oneport", "mesh2x2"),
+  };
+}
+
+// ---------------------------------------------------------- bit identity
+
+TEST(SchedulerService, ResultsBitIdenticalToRunSweep) {
+  const Platform platform = make_paper_platform();
+  const std::vector<analysis::SweepPoint> grid = mixed_grid();
+  const std::vector<analysis::SweepResult> expected =
+      analysis::run_sweep(grid, platform, {.workers = 1});
+
+  service::ServiceOptions options;
+  options.shards = 3;  // requests hash to different shard caches
+  options.batch_size = 2;
+  service::SchedulerService svc(platform, options);
+  std::vector<service::Ticket> tickets;
+  for (const analysis::SweepPoint& point : grid) {
+    tickets.push_back(svc.submit(point));
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(tickets[i].accepted);
+    const service::Response response = tickets[i].response.get();
+    const analysis::SweepResult& want = expected[i];
+    // Doubles compared with EXPECT_EQ on purpose: the service path must
+    // be the same arithmetic, not merely close.
+    EXPECT_EQ(response.result.makespan, want.makespan) << grid[i].testbed;
+    EXPECT_EQ(response.result.speedup, want.speedup);
+    EXPECT_EQ(response.result.num_tasks, want.num_tasks);
+    EXPECT_EQ(response.result.num_comms, want.num_comms);
+    EXPECT_EQ(response.result.imbalance_before, want.imbalance_before);
+    EXPECT_EQ(response.result.imbalance_after, want.imbalance_after);
+    EXPECT_GT(response.latency_ns, 0u);
+    EXPECT_GE(response.latency_ns, response.service_ns);
+  }
+}
+
+// ----------------------------------------------------- contended replay
+
+TEST(SchedulerService, ContendedSubmitDrainCompletesEverything) {
+  const Platform platform = make_paper_platform();
+  service::ServiceOptions options;
+  options.shards = 2;
+  options.queue_depth = 8;  // small: submitters really do park
+  options.batch_size = 3;
+  options.backpressure = service::Backpressure::kBlock;
+  service::SchedulerService svc(platform, options);
+
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerSubmitter = 32;
+  std::atomic<std::uint64_t> resolved{0};
+  {
+    ThreadPool submitters(kWorkers);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      submitters.submit([&svc, &resolved] {
+        for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+          service::Ticket ticket =
+              svc.submit(make_point("FORK-JOIN", 10, "heft-oneport"));
+          ASSERT_TRUE(ticket.accepted);  // block mode never rejects live
+          const service::Response response = ticket.response.get();
+          EXPECT_EQ(response.result.point.testbed, "FORK-JOIN");
+          resolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    submitters.wait_idle();
+  }
+  svc.drain();
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(resolved.load(), kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.submitted, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.completed, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_LE(stats.peak_queue_depth, options.queue_depth);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.latency_p99_ms, 0.0);
+  EXPECT_GE(stats.latency_p99_ms, stats.latency_p50_ms);
+  EXPECT_EQ(svc.latencies_ns().size(), kSubmitters * kPerSubmitter);
+}
+
+// -------------------------------------------------------- backpressure
+
+TEST(SchedulerService, RejectModePartitionsTicketsCleanly) {
+  const Platform platform = make_paper_platform();
+  service::ServiceOptions options;
+  options.shards = 1;
+  options.queue_depth = 1;
+  options.batch_size = 1;
+  options.backpressure = service::Backpressure::kReject;
+  options.retry_after_ms = 7;
+  service::SchedulerService svc(platform, options);
+
+  constexpr int kAttempts = 64;
+  std::vector<service::Ticket> accepted;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < kAttempts; ++i) {
+    service::Ticket ticket =
+        svc.submit(make_point("FORK-JOIN", 15, "heft-oneport"));
+    if (ticket.accepted) {
+      accepted.push_back(std::move(ticket));
+    } else {
+      // Rejection is fully described: the hint is the configured one and
+      // no future was attached.
+      EXPECT_EQ(ticket.retry_after_ms, 7);
+      EXPECT_FALSE(ticket.response.valid());
+      ++rejected;
+    }
+  }
+  for (service::Ticket& ticket : accepted) {
+    EXPECT_NO_THROW((void)ticket.response.get());
+  }
+  svc.drain();
+  const service::ServiceStats stats = svc.stats();
+  // Every attempt is accounted for exactly once; rejected submissions
+  // consume no ticket id.
+  EXPECT_EQ(accepted.size() + rejected, static_cast<std::size_t>(kAttempts));
+  EXPECT_EQ(stats.submitted, accepted.size());
+  EXPECT_EQ(stats.completed, accepted.size());
+  EXPECT_EQ(stats.rejected, rejected);
+}
+
+TEST(SchedulerService, SubmitAfterStopRejectsDeterministically) {
+  const Platform platform = make_paper_platform();
+  service::ServiceOptions options;
+  options.shards = 1;
+  options.retry_after_ms = 3;
+  service::SchedulerService svc(platform, options);
+  service::Ticket before =
+      svc.submit(make_point("FORK-JOIN", 10, "heft-oneport"));
+  ASSERT_TRUE(before.accepted);
+  (void)before.response.get();
+  svc.stop();
+  svc.stop();  // idempotent
+  for (int i = 0; i < 3; ++i) {
+    service::Ticket after =
+        svc.submit(make_point("FORK-JOIN", 10, "heft-oneport"));
+    EXPECT_FALSE(after.accepted);
+    EXPECT_EQ(after.retry_after_ms, 3);
+    EXPECT_FALSE(after.response.valid());
+  }
+  EXPECT_EQ(svc.stats().completed, 1u);
+}
+
+TEST(SchedulerService, FaultingRequestResolvesItsFutureOnly) {
+  const Platform platform = make_paper_platform();
+  service::ServiceOptions options;
+  options.shards = 1;
+  options.batch_size = 4;
+  service::SchedulerService svc(platform, options);
+  // One poisoned request in the middle of a batch: its future throws,
+  // its neighbors complete normally, and the worker survives.
+  service::Ticket ok1 = svc.submit(make_point("FORK-JOIN", 10, "heft-oneport"));
+  service::Ticket bad = svc.submit(make_point("NO-SUCH-TESTBED", 10,
+                                              "heft-oneport"));
+  service::Ticket ok2 = svc.submit(make_point("LU", 10, "heft-oneport"));
+  ASSERT_TRUE(ok1.accepted && bad.accepted && ok2.accepted);
+  EXPECT_NO_THROW((void)ok1.response.get());
+  EXPECT_THROW((void)bad.response.get(), std::exception);
+  EXPECT_NO_THROW((void)ok2.response.get());
+  svc.drain();  // the failed request must not leave in_flight_ stuck
+}
+
+TEST(SchedulerService, BackpressureParsing) {
+  EXPECT_EQ(service::parse_backpressure("block"),
+            service::Backpressure::kBlock);
+  EXPECT_EQ(service::parse_backpressure("reject"),
+            service::Backpressure::kReject);
+  EXPECT_THROW((void)service::parse_backpressure("drop"),
+               std::invalid_argument);
+  EXPECT_STREQ(service::backpressure_name(service::Backpressure::kBlock),
+               "block");
+  EXPECT_STREQ(service::backpressure_name(service::Backpressure::kReject),
+               "reject");
+}
+
+// ------------------------------------------------- sharded topology cache
+
+TEST(ShardedTopologyCache, ShardGetIsOneInstancePerKeyUnderContention) {
+  analysis::TopologyCacheShard shard;
+  const std::vector<double> cycles{4.0, 5.0, 6.0, 10.0};
+  constexpr std::size_t kLookups = 256;
+  std::vector<std::shared_ptr<const RoutedPlatform>> got(kLookups);
+  ThreadPool pool(kWorkers);
+  pool.parallel_for(kLookups, [&](std::size_t i) {
+    got[i] = shard.get(i % 2 == 0 ? "ring" : "star", cycles, /*link=*/1.0,
+                       /*seed=*/i % 3);
+  });
+  for (std::size_t i = 0; i < kLookups; ++i) {
+    ASSERT_NE(got[i], nullptr);
+    for (std::size_t j = i + 1; j < kLookups; ++j) {
+      if (i % 2 == j % 2 && i % 3 == j % 3) {
+        EXPECT_EQ(got[i].get(), got[j].get())
+            << "shard built two instances for one key (" << i << ", " << j
+            << ")";
+      }
+    }
+  }
+  EXPECT_EQ(shard.size(), 6u);  // 2 topologies x 3 seeds
+}
+
+TEST(ShardedTopologyCache, HashRoutingIsStableAndCoversAllShards) {
+  analysis::ShardedTopologyCache cache(4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  // Routing is a pure function of (topology, seed)...
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_EQ(cache.shard_for("ring", seed), cache.shard_for("ring", seed));
+  }
+  // ...and the routed get() caches exactly once per key, in the shard
+  // the router names.
+  const std::vector<double> cycles{4.0, 5.0};
+  const auto a = cache.get("ring", cycles, 1.0, 1);
+  const auto b = cache.get("ring", cycles, 1.0, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.total_entries(), 1u);
+  EXPECT_EQ(cache.shard(cache.shard_for("ring", 1)).size(), 1u);
+}
+
+TEST(ShardedTopologyCache, ServiceShardsStayDisjointButConsistent) {
+  // Two service workers resolving the same routed point each populate
+  // their own shard: instances may differ across shards (that is the
+  // contention trade), but every schedule derived from them is
+  // identical -- pinned end to end here via the service bit-identity
+  // path on a routed topology.
+  const Platform platform = make_paper_platform();
+  const std::vector<analysis::SweepPoint> grid = {
+      make_point("LU", 30, "heft-oneport", "mesh2x2"),
+      make_point("LU", 30, "heft-oneport", "mesh2x2"),
+  };
+  const std::vector<analysis::SweepResult> expected =
+      analysis::run_sweep(grid, platform, {.workers = 1});
+  service::ServiceOptions options;
+  options.shards = 2;
+  options.batch_size = 1;
+  service::SchedulerService svc(platform, options);
+  std::vector<service::Ticket> tickets;
+  for (const analysis::SweepPoint& point : grid) {
+    tickets.push_back(svc.submit(point));
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(tickets[i].accepted);
+    const service::Response response = tickets[i].response.get();
+    EXPECT_EQ(response.result.makespan, expected[i].makespan);
+    EXPECT_EQ(response.result.num_comms, expected[i].num_comms);
+  }
+}
+
+}  // namespace
+}  // namespace oneport

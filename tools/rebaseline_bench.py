@@ -3,7 +3,7 @@
 
 Usage:
     rebaseline_bench.py BENCH_<sha>.json [--baseline=bench/baseline.json]
-        [--prefixes=routed/,scale/,timeline/,reschedule/] [--check]
+        [--prefixes=routed/,scale/,timeline/,reschedule/,service/] [--check]
 
 The bench-trajectory CI job uploads one ``BENCH_<sha>.json`` google
 benchmark artifact per commit.  This tool rewrites the committed
@@ -51,7 +51,7 @@ def filtered_rows(doc, prefixes):
 
 def main(argv):
     baseline_path = "bench/baseline.json"
-    prefixes = ["routed/", "scale/", "timeline/", "reschedule/"]
+    prefixes = ["routed/", "scale/", "timeline/", "reschedule/", "service/"]
     check_only = False
     positional = []
     for arg in argv[1:]:
