@@ -39,11 +39,16 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
 #include "core/heft.hpp"
+#include "exact/branch_bound.hpp"
+#include "graph/dot_export.hpp"
+#include "graph/dot_import.hpp"
 #include "service/scheduler_service.hpp"
 #include "core/ilha.hpp"
 #include "core/registry.hpp"
@@ -561,6 +566,113 @@ void register_service_benchmarks() {
       ->Unit(benchmark::kMillisecond);
 }
 
+/// Anytime branch-and-bound trajectory (ISSUE-10): one case the search
+/// closes (an 8-task DAG proven to its MD optimum) and one it truncates
+/// (MLTRAIN under a fixed node budget).  Besides the wall clock, the
+/// counters export the bound itself and the resulting optimality gap
+/// against HEFT, so the gate catches a *quality* regression (a weaker
+/// bound after a pruning change) as loudly as a slowdown.
+void register_exact_benchmarks() {
+  struct ExactCase {
+    std::string name;
+    std::shared_ptr<const TaskGraph> graph;
+    std::uint64_t node_budget;
+  };
+  std::vector<ExactCase> cases;
+  {
+    testbeds::RandomDagOptions opt;
+    opt.layers = 4;
+    opt.max_width = 2;
+    opt.comm_ratio = 2.0;
+    opt.seed = 7;
+    cases.push_back({"closed/random8",
+                     std::make_shared<const TaskGraph>(
+                         testbeds::make_random_layered(opt)),
+                     500'000});
+  }
+  cases.push_back({"anytime/mltrain2",
+                   std::make_shared<const TaskGraph>(testbeds::make_mltrain(2)),
+                   20'000});
+  for (const ExactCase& c : cases) {
+    const std::string name = "exact/lb-quality/" + c.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [c](benchmark::State& state) {
+          const Platform& platform = paper_platform();
+          const double heft_makespan =
+              heft(*c.graph, platform, {.model = EftEngine::Model::kOnePort})
+                  .makespan();
+          exact::BranchBoundOptions options;
+          options.node_budget = c.node_budget;
+          exact::BranchBoundResult result;
+          prof::reset();
+          for (auto _ : state) {
+            result = exact::branch_bound_lower_bound(*c.graph, platform,
+                                                     options);
+            // NOT DoNotOptimize(result.lower_bound): the "+m,r" asm
+            // constraint marks the member asm-written, and gcc at -O3
+            // stores back a clobbered register.  The call is opaque
+            // (separate TU), so a compiler barrier is enough.
+            benchmark::ClobberMemory();
+          }
+          OP_ASSERT(result.lower_bound <= heft_makespan + 1e-7,
+                    "bound " << result.lower_bound << " exceeds HEFT "
+                             << heft_makespan << " -- unsound");
+          state.counters["lower_bound"] = result.lower_bound;
+          state.counters["optimality_gap"] =
+              analysis::optimality_gap(heft_makespan, result.lower_bound);
+          state.counters["proven"] = result.proven_optimal ? 1.0 : 0.0;
+          state.counters["nodes"] =
+              static_cast<double>(result.nodes_expanded);
+          attach_profile_counters(state);
+        })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+/// Importer throughput (ISSUE-10): parse the pre-rendered DOT/JSON dump
+/// of a scale graph back into a TaskGraph, covering the full validate +
+/// finalize path the trace:<path> testbeds take per sweep point.
+void register_import_benchmarks() {
+  for (const int n : {1000, 10000}) {
+    for (const bool json : {false, true}) {
+      std::string name = "import/parse/";
+      name += json ? "json" : "dot";
+      name += "/n=" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [n, json](benchmark::State& state) {
+            const TaskGraph& graph = scale_graph(n);
+            std::ostringstream os;
+            if (json) {
+              write_json_graph(os, graph, {.graph_name = "bench"});
+            } else {
+              write_dot(os, graph, {.graph_name = "bench",
+                                    .max_tasks = graph.num_tasks()});
+            }
+            const std::string text = os.str();
+            std::size_t tasks = 0;
+            prof::reset();
+            for (auto _ : state) {
+              const ImportedGraph imported = import_task_graph(text);
+              tasks = imported.graph.num_tasks();
+              benchmark::DoNotOptimize(tasks);
+            }
+            OP_ASSERT(tasks == graph.num_tasks(),
+                      "import dropped tasks: " << tasks << " != "
+                                               << graph.num_tasks());
+            state.counters["tasks"] = static_cast<double>(tasks);
+            state.counters["bytes"] = static_cast<double>(text.size());
+            state.counters["tasks_per_s"] = benchmark::Counter(
+                static_cast<double>(tasks),
+                benchmark::Counter::kIsIterationInvariantRate);
+            attach_profile_counters(state);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -570,6 +682,8 @@ int main(int argc, char** argv) {
   register_timeline_benchmarks();
   register_sweep_benchmarks();
   register_service_benchmarks();
+  register_exact_benchmarks();
+  register_import_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

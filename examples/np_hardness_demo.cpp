@@ -48,7 +48,8 @@ int main(int argc, char** argv) {
 
   // ---- Theorem 1 -------------------------------------------------------
   const exact::ForkSchedInstance t1 = exact::make_fork_sched_instance(values);
-  std::cout << "Theorem 1 (FORK-SCHED): fork of " << values.size() + 3
+  std::cout << "Theorem 1 (FORK-SCHED): fork of "
+            << t1.fork.child_weights.size()
             << " children, time bound T = " << t1.time_bound << "\n";
   const exact::ForkOptimum opt = exact::solve_fork_one_port_optimal(t1.fork);
   std::cout << "  exhaustive one-port optimum = " << opt.makespan

@@ -125,8 +125,13 @@ void write_json(std::ostream& os,
        << "      \"ratio\": " << r.speedup << ",\n"
        << "      \"msgs\": " << r.num_comms << ",\n"
        << "      \"imb_before\": " << r.imbalance_before << ",\n"
-       << "      \"imb_after\": " << r.imbalance_after << "\n"
-       << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+       << "      \"imb_after\": " << r.imbalance_after;
+    if (r.audited) {
+      os << ",\n      \"lb\": " << r.lower_bound
+         << ",\n      \"optimality_gap\": " << r.optimality_gap
+         << ",\n      \"lb_proven\": " << (r.lb_proven ? "true" : "false");
+    }
+    os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -143,9 +148,27 @@ int run(int argc, char** argv) {
            "                 [--events=none,slowdown,dropout,mixed,"
            "arrival]\n"
            "                 [--rebalance=off,on]\n"
+           "                 [--audit=none,gap] [--audit-budget=200000]\n"
+           "                 [--audit-max-tasks=64]\n"
            "                 [--comm-ratio=10] [--chunk=38] [--workers=0]\n"
            "                 [--topology-seed=1] [--no-validate]\n"
            "                 [--csv=out.csv] [--json=out.json] [--quiet]\n"
+           "\n"
+           "--testbeds takes the paper kernels (LU, LAPLACE, STENCIL,\n"
+           "FORK-JOIN, DOOLITTLE, LDMt), the generated workload families\n"
+           "mltrain-shaped MLTRAIN (data-parallel training step: layered\n"
+           "fwd/bwd chains with per-layer allreduce fan-in/fan-out) and\n"
+           "microsvc-shaped MICROSVC (microservice request fanout:\n"
+           "shallow wide tree with heavy-tailed service times), and\n"
+           "trace:<path> entries importing a DOT/JSON DAG file verbatim\n"
+           "(see docs/WORKLOADS.md; trace points ignore --sizes).\n"
+           "\n"
+           "--audit=gap runs the anytime branch-and-bound lower bound\n"
+           "(src/exact/branch_bound) on every static grid point with at\n"
+           "most --audit-max-tasks tasks and reports lb, optimality_gap\n"
+           "(makespan/lb - 1) and lb_proven per point; --audit-budget\n"
+           "caps the deterministic node budget.  gap == 0 with\n"
+           "lb_proven means the heuristic is provably optimal there.\n"
            "\n"
            "--events replays each grid point through the online\n"
            "rescheduler (src/dynamic) under the named platform-fault\n"
@@ -188,6 +211,13 @@ int run(int argc, char** argv) {
            "unknown --rebalance mode '" + mode + "' (expected on/off)");
     rebalance.push_back(mode == "on");
   }
+  const std::string audit = args.get("audit", "none");
+  ensure(audit == "none" || audit == "gap",
+         "unknown --audit mode '" + audit + "' (expected none/gap)");
+  const int audit_budget = args.get_int("audit-budget", 200'000);
+  ensure(audit_budget > 0, "--audit-budget must be positive");
+  const int audit_max_tasks = args.get_int("audit-max-tasks", 64);
+  ensure(audit_max_tasks > 0, "--audit-max-tasks must be positive");
   const double comm_ratio = args.get_double("comm-ratio", 10.0);
   const int chunk = args.get_int("chunk", 38);
   const int workers = args.get_int("workers", 0);
@@ -219,7 +249,11 @@ int run(int argc, char** argv) {
   const Platform platform = make_paper_platform();
   const std::vector<analysis::SweepResult> results = analysis::run_sweep(
       grid, platform,
-      {.workers = workers, .validate = !args.has("no-validate")});
+      {.workers = workers,
+       .validate = !args.has("no-validate"),
+       .audit_gap = audit == "gap",
+       .audit_node_budget = static_cast<std::uint64_t>(audit_budget),
+       .audit_max_tasks = audit_max_tasks});
   const csv::Table table = analysis::sweep_table(results);
 
   if (!args.has("quiet")) {

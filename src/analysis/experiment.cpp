@@ -12,6 +12,7 @@
 #include "core/registry.hpp"
 #include "dynamic/events.hpp"
 #include "dynamic/reschedule.hpp"
+#include "exact/branch_bound.hpp"
 #include "platform/routing.hpp"
 #include "sched/validate.hpp"
 #include "testbeds/registry.hpp"
@@ -213,6 +214,23 @@ SweepResult run_sweep_point(const SweepPoint& point, const Platform& platform,
   out.num_comms = schedule.num_comms();
   out.imbalance_before = imbalance_before;
   out.imbalance_after = imbalance_after;
+
+  // Optimality audit: a sound MD lower bound turns the makespan into a
+  // calibrated "at most X% above optimal" claim.  Static points only --
+  // a dynamic composite ran on a platform the bound never saw.
+  if (options.audit_gap && point.events == "none" &&
+      graph.num_tasks() <= static_cast<std::size_t>(options.audit_max_tasks)) {
+    exact::BranchBoundOptions bb;
+    bb.node_budget = options.audit_node_budget;
+    bb.max_search_tasks = options.audit_max_tasks;
+    bb.routing = routed ? &sparse->routing : nullptr;
+    const exact::BranchBoundResult lb =
+        exact::branch_bound_lower_bound(graph, target, bb);
+    out.audited = true;
+    out.lower_bound = lb.lower_bound;
+    out.lb_proven = lb.proven_optimal;
+    out.optimality_gap = optimality_gap(out.makespan, lb.lower_bound);
+  }
   return out;
 }
 
@@ -236,7 +254,8 @@ std::shared_ptr<const RoutedPlatform> shared_topology_platform(
 csv::Table sweep_table(const std::vector<SweepResult>& rows) {
   csv::Table table({"topology", "testbed", "n", "scheduler", "events",
                     "rebalance", "tasks", "ratio", "makespan", "msgs",
-                    "imb_before", "imb_after"});
+                    "imb_before", "imb_after", "lb", "optimality_gap",
+                    "lb_proven"});
   for (const SweepResult& r : rows) {
     table.add_row({r.point.topology, r.point.testbed,
                    std::to_string(r.point.size), r.point.scheduler,
@@ -246,7 +265,10 @@ csv::Table sweep_table(const std::vector<SweepResult>& rows) {
                    csv::format_number(r.makespan, 0),
                    std::to_string(r.num_comms),
                    csv::format_number(r.imbalance_before, 3),
-                   csv::format_number(r.imbalance_after, 3)});
+                   csv::format_number(r.imbalance_after, 3),
+                   r.audited ? csv::format_number(r.lower_bound) : "",
+                   r.audited ? csv::format_number(r.optimality_gap, 4) : "",
+                   r.audited ? (r.lb_proven ? "proven" : "anytime") : ""});
   }
   return table;
 }

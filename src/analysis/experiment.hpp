@@ -108,6 +108,23 @@ struct SweepResult {
   /// for static points (no epochs).
   double imbalance_before = 0.0;
   double imbalance_after = 0.0;
+  /// Optimality audit (SweepOptions::audit_gap).  `audited` is true when
+  /// the branch-and-bound lower bound ran for this point -- only static
+  /// points (events == "none") within the audit's task cap are audited;
+  /// for everything else the three fields below stay at their zero
+  /// defaults and the CSV/JSON report them as absent.
+  bool audited = false;
+  /// Sound lower bound on the point's optimal makespan (the MD optimum
+  /// of exact/branch_bound, computed with the point's routed distances
+  /// when the topology is sparse).
+  double lower_bound = 0.0;
+  /// makespan / lower_bound - 1 (analysis::optimality_gap); >= 0, and 0
+  /// exactly when the heuristic attained the bound.
+  double optimality_gap = 0.0;
+  /// True when the bound is *proven* to be the MD optimum, i.e. the
+  /// search closed within its budget; a gap of 0 with lb_proven means
+  /// the heuristic is provably optimal for this point.
+  bool lb_proven = false;
 };
 
 struct SweepOptions {
@@ -116,6 +133,16 @@ struct SweepOptions {
   /// name (one-port for "*-oneport" entries, macro-dataflow otherwise);
   /// throws std::logic_error on the first violation.
   bool validate = true;
+  /// Run the exact/branch_bound optimality audit on every static point
+  /// with at most `audit_max_tasks` tasks (the sweep_cli --audit=gap
+  /// axis).  Dynamic points are never audited: the bound models a fixed
+  /// platform, not one mutating under a fault trace.
+  bool audit_gap = false;
+  /// Node budget handed to BranchBoundOptions (deterministic cutoff).
+  std::uint64_t audit_node_budget = 200'000;
+  /// Points with more tasks than this report no bound at all rather
+  /// than a trivially-loose root bound.
+  int audit_max_tasks = 64;
 };
 
 /// Builds the full cross product topologies x testbeds x sizes x

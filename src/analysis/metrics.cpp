@@ -1,6 +1,7 @@
 #include "analysis/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -49,6 +50,26 @@ ScheduleStats compute_stats(const TaskGraph& graph, const Platform& platform,
       stats.makespan > 0.0 ? mean_busy / stats.makespan : 0.0;
   stats.load_imbalance = mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
   return stats;
+}
+
+double optimality_gap(double makespan, double lower_bound) {
+  OP_REQUIRE(makespan >= 0.0, "negative makespan");
+  if (lower_bound <= 0.0) {
+    return makespan == 0.0 ? 0.0
+                           : std::numeric_limits<double>::infinity();
+  }
+  const double gap = makespan / lower_bound - 1.0;
+  if (gap < 0.0) {
+    // A makespan below a *sound* lower bound can only be rounding noise
+    // from a heuristic that attained the bound exactly.  A real excess
+    // means the bound is broken -- surface it, don't clamp it away.
+    OP_ASSERT(gap >= -1e-9, "makespan " << makespan
+                                        << " undercuts the lower bound "
+                                        << lower_bound
+                                        << ": the bound is unsound");
+    return 0.0;
+  }
+  return gap;
 }
 
 }  // namespace oneport::analysis

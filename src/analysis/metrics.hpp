@@ -34,4 +34,14 @@ struct ScheduleStats {
                                           const Platform& platform,
                                           const Schedule& schedule);
 
+/// Relative optimality gap makespan / lower_bound - 1: 0 means the
+/// schedule provably matches the bound, 0.25 means at most 25% above
+/// optimal.  Tiny negative ratios (|r| <= 1e-9, floating-point noise
+/// when a heuristic exactly attains the bound) clamp to 0; anything
+/// more negative means the "lower bound" wasn't one and throws
+/// std::logic_error rather than silently reporting nonsense.  A
+/// non-positive lower bound on a positive makespan yields an infinite
+/// gap (the bound carries no information).
+[[nodiscard]] double optimality_gap(double makespan, double lower_bound);
+
 }  // namespace oneport::analysis

@@ -39,17 +39,33 @@ ForkSchedInstance make_fork_sched_instance(
   const PartitionStats s = stats_of(values);
   const std::size_t n = values.size();
 
+  // NOTE: shifting each value by a constant (to push the child weights
+  // into the [w_min, 2 w_min] window the hardness argument needs) makes
+  // subset sums depend on subset *cardinality*, so a naive shift encodes
+  // balanced 2-PARTITION, not the plain problem: {1, 1, 2} splits as
+  // {1, 1} | {2} but no shifted subset hits half the shifted total.  We
+  // therefore pad first: with K > sum(a_i), the 2n-element instance
+  // {a_i + K} u {K x n} has a half-total subset iff the original has an
+  // equal-sum split (the K-multiples force exactly n elements, and the
+  // residue must then be sum/2), and all padded values already lie in
+  // [K, 2K).  Scaled by 10 they become the fork's 2n value children.
+  const std::int64_t pad = s.sum + 1;  // K
+
   ForkSchedInstance inst;
   inst.fork.parent_weight = 0.0;  // w_0 = 0
   inst.fork.cycle_time = 1.0;
   inst.fork.link = 1.0;
-  inst.w_min = 10.0 * static_cast<double>(s.max + s.min) + 1.0;
+  inst.w_min = 10.0 * static_cast<double>(pad);
 
   double half_sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double w = 10.0 * static_cast<double>(s.max + values[i] + 1);
+    const double w = 10.0 * static_cast<double>(pad + values[i]);
     inst.fork.child_weights.push_back(w);
     half_sum += w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {  // the n balancing dummies
+    inst.fork.child_weights.push_back(inst.w_min);
+    half_sum += inst.w_min;
   }
   half_sum /= 2.0;
   for (int extra = 0; extra < 3; ++extra) {
@@ -67,19 +83,24 @@ RealizedFork realize_theorem1_schedule(
   const ForkSchedInstance inst = make_fork_sched_instance(values);
   const std::size_t n = values.size();
 
-  // P0 keeps v0, the A1 children and the first two w_min children; every
-  // other child gets its own processor, messages by increasing index (so
-  // the last message goes to the third w_min child, as in the proof).
-  std::vector<bool> local(n + 3, false);
+  // P0 keeps v0, the A1 children, enough balancing dummies to complete a
+  // half of the padded instance (n - |A1| of them), and the first two
+  // w_min children; every other child gets its own processor, messages by
+  // increasing index (so the last message goes to the third w_min child,
+  // as in the proof).
+  std::vector<bool> local(2 * n + 3, false);
   for (const std::size_t i : half_indices) {
     OP_REQUIRE(i < n, "certificate index out of range");
     OP_REQUIRE(!local[i], "certificate index repeated");
     local[i] = true;
   }
-  local[n] = local[n + 1] = true;
+  for (std::size_t i = n; i < 2 * n - half_indices.size(); ++i) {
+    local[i] = true;
+  }
+  local[2 * n] = local[2 * n + 1] = true;
 
   ForkOptimum plan;
-  for (std::size_t i = 0; i < n + 3; ++i) {
+  for (std::size_t i = 0; i < 2 * n + 3; ++i) {
     if (local[i]) {
       plan.local_children.push_back(i);
     } else {

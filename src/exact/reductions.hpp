@@ -1,9 +1,13 @@
 // Constructions behind the paper's two NP-completeness results.
 //
 // Theorem 1 (FORK-SCHED): from a 2-PARTITION instance A = {a_1..a_n},
-// build a fork graph of N = n+3 children on unlimited same-speed
+// build a fork graph of N = 2n+3 children on unlimited same-speed
 // processors with a time bound T such that a schedule of makespan <= T
-// exists iff A can be partitioned into equal halves.
+// exists iff A can be partitioned into equal-sum halves.  (The extra n
+// children are balancing dummies: they let the construction keep every
+// child weight inside the [w_min, 2 w_min] window the hardness argument
+// needs without quietly changing the problem to balanced-cardinality
+// 2-PARTITION -- see the note in make_fork_sched_instance.)
 //
 // Theorem 2 (COMM-SCHED, Appendix): from the same A, build a bipartite
 // instance whose *allocation is already fixed* -- only the messages remain
@@ -32,8 +36,9 @@ namespace oneport::exact {
 
 struct ForkSchedInstance {
   ForkInstance fork;    ///< w_0 = 0; children per the construction
-  double time_bound;    ///< T = (1/2) sum w_i + 2 w_min
-  double w_min;         ///< the common weight of the last three children
+  double time_bound;    ///< T = (1/2) sum w_i + 2 w_min (sum over the 2n
+                        ///< value+dummy children)
+  double w_min;         ///< weight of the dummies and the last three children
 };
 
 /// The Theorem-1 construction.  `values` are the 2-PARTITION integers.

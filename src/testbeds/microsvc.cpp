@@ -1,0 +1,71 @@
+#include "testbeds/testbeds.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace oneport::testbeds {
+
+namespace {
+
+/// "svc3"/"svc3_be1"-style names; += avoids a GCC 12 -Wrestrict false
+/// positive on `const char* + std::string&&`.
+std::string svc_name(int s) {
+  std::string out("svc");
+  out += std::to_string(s);
+  return out;
+}
+
+/// Bounded Pareto draw: heavy-tailed service time with alpha = 1.3,
+/// minimum 0.5, capped at 50x the minimum so one straggler skews but
+/// never degenerates the instance.
+double service_time(SplitMix64& rng) {
+  constexpr double kAlpha = 1.3;
+  constexpr double kMin = 0.5;
+  constexpr double kCap = 50.0 * kMin;
+  const double u = rng.uniform(1e-6, 1.0);
+  const double w = kMin / std::pow(u, 1.0 / kAlpha);
+  return w < kCap ? w : kCap;
+}
+
+}  // namespace
+
+TaskGraph make_microsvc(int n, double comm_ratio) {
+  OP_REQUIRE(n >= 1, "MICROSVC needs at least one first-tier service");
+  OP_REQUIRE(comm_ratio >= 0.0, "comm ratio must be non-negative");
+  TaskGraph g;
+  SplitMix64 rng{0x6d737663u ^ (static_cast<std::uint64_t>(n) << 16)};
+
+  // The root request: light parse/route work, then wide fanout.
+  const TaskId root = g.add_task(0.5, "request");
+  const TaskId aggregate = g.add_task(1.0, "aggregate");
+  for (int s = 0; s < n; ++s) {
+    const TaskId svc = g.add_task(service_time(rng), svc_name(s));
+    g.add_edge(root, svc, comm_ratio * g.weight(root));
+    // 0..3 second-tier backends (DB/cache/downstream calls); a service
+    // with none replies directly.
+    const std::uint64_t backends = rng.below(4);
+    if (backends == 0) {
+      g.add_edge(svc, aggregate, comm_ratio * g.weight(svc));
+      continue;
+    }
+    for (std::uint64_t d = 0; d < backends; ++d) {
+      std::string backend_name = svc_name(s);
+      backend_name += "_be";
+      backend_name += std::to_string(d);
+      const TaskId backend =
+          g.add_task(service_time(rng), std::move(backend_name));
+      g.add_edge(svc, backend, comm_ratio * g.weight(svc));
+      g.add_edge(backend, aggregate, comm_ratio * g.weight(backend));
+    }
+  }
+
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

@@ -1,0 +1,106 @@
+#include "testbeds/testbeds.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace oneport::testbeds {
+
+namespace {
+
+/// "f0_3"-style task names; built with += to sidestep a GCC 12
+/// -Wrestrict false positive on `const char* + std::string&&`.
+std::string rl_name(const char* prefix, int r, int l) {
+  std::string out(prefix);
+  out += std::to_string(r);
+  out += '_';
+  out += std::to_string(l);
+  return out;
+}
+
+/// Forward-pass weight profile: layers near the middle of the stack are
+/// the heaviest (the attention/MLP blocks), the embedding and head
+/// layers the lightest.  Peaks at 3.0, floors at 1.0.
+double forward_weight(int layer, int layers) {
+  const double x = (layers <= 1)
+                       ? 0.5
+                       : static_cast<double>(layer) /
+                             static_cast<double>(layers - 1);
+  return 1.0 + 8.0 * x * (1.0 - x);  // parabola: 1.0 at ends, 3.0 mid
+}
+
+}  // namespace
+
+TaskGraph make_mltrain(int n, double comm_ratio) {
+  OP_REQUIRE(n >= 1, "MLTRAIN needs at least one layer");
+  OP_REQUIRE(comm_ratio >= 0.0, "comm ratio must be non-negative");
+  const int replicas = kMltrainReplicas;
+  TaskGraph g;
+  // Small deterministic jitter so replicas are not perfectly symmetric
+  // (stragglers exist in real data-parallel steps); seeded by n only so
+  // MLTRAIN(n) is one fixed graph, not a family.
+  SplitMix64 rng{0x6d6c7472u ^ (static_cast<std::uint64_t>(n) << 16)};
+
+  std::vector<std::vector<TaskId>> fwd(
+      static_cast<std::size_t>(replicas));
+  std::vector<std::vector<TaskId>> bwd(
+      static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    auto& f = fwd[static_cast<std::size_t>(r)];
+    auto& b = bwd[static_cast<std::size_t>(r)];
+    f.reserve(static_cast<std::size_t>(n));
+    b.reserve(static_cast<std::size_t>(n));
+    for (int l = 0; l < n; ++l) {
+      const double jitter = rng.uniform(0.9, 1.1);
+      const double w = forward_weight(l, n) * jitter;
+      f.push_back(g.add_task(w, rl_name("f", r, l)));
+      // Backward costs about twice forward (grad wrt inputs + weights).
+      b.push_back(g.add_task(2.0 * w, rl_name("b", r, l)));
+    }
+  }
+
+  for (int r = 0; r < replicas; ++r) {
+    const auto& f = fwd[static_cast<std::size_t>(r)];
+    const auto& b = bwd[static_cast<std::size_t>(r)];
+    for (int l = 0; l + 1 < n; ++l) {
+      const auto lu = static_cast<std::size_t>(l);
+      // Forward chain passes activations up; backward chain passes
+      // gradients down.
+      g.add_edge(f[lu], f[lu + 1], comm_ratio * g.weight(f[lu]));
+      g.add_edge(b[lu + 1], b[lu], comm_ratio * g.weight(b[lu + 1]));
+    }
+    const auto top = static_cast<std::size_t>(n - 1);
+    // Loss gradient kicks off the backward pass...
+    g.add_edge(f[top], b[top], comm_ratio * g.weight(f[top]));
+    // ...and every layer's saved activations feed its backward step.
+    for (int l = 0; l + 1 < n; ++l) {
+      const auto lu = static_cast<std::size_t>(l);
+      g.add_edge(f[lu], b[lu], comm_ratio * g.weight(f[lu]));
+    }
+  }
+
+  // Per-layer gradient allreduce: cheap compute, full-gradient traffic
+  // in and out (the edges, not the task, are the cost).
+  for (int l = 0; l < n; ++l) {
+    const auto lu = static_cast<std::size_t>(l);
+    const double grad_volume = comm_ratio * forward_weight(l, n);
+    std::string reduce_name("g");
+    reduce_name += std::to_string(l);
+    const TaskId reduce = g.add_task(0.5, std::move(reduce_name));
+    for (int r = 0; r < replicas; ++r) {
+      g.add_edge(bwd[static_cast<std::size_t>(r)][lu], reduce, grad_volume);
+    }
+    for (int r = 0; r < replicas; ++r) {
+      const TaskId update = g.add_task(0.25, rl_name("u", r, l));
+      g.add_edge(reduce, update, grad_volume);
+    }
+  }
+
+  g.finalize();
+  return g;
+}
+
+}  // namespace oneport::testbeds

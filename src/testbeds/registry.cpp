@@ -1,7 +1,9 @@
 #include "testbeds/registry.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "graph/dot_import.hpp"
 #include "testbeds/testbeds.hpp"
 
 namespace oneport::testbeds {
@@ -17,15 +19,43 @@ std::vector<TestbedEntry> paper_testbeds() {
   };
 }
 
+std::vector<TestbedEntry> generated_testbeds() {
+  return {
+      {"MLTRAIN", [](int n, double c) { return make_mltrain(n, c); }, 38},
+      {"MICROSVC", [](int n, double c) { return make_microsvc(n, c); }, 38},
+  };
+}
+
+std::vector<TestbedEntry> all_testbeds() {
+  auto entries = paper_testbeds();
+  for (auto& entry : generated_testbeds()) entries.push_back(std::move(entry));
+  return entries;
+}
+
 TestbedEntry find_testbed(const std::string& name) {
+  if (name.rfind("trace:", 0) == 0) {
+    const std::string path = name.substr(6);
+    if (path.empty()) {
+      throw std::invalid_argument(
+          "trace testbed needs a path: trace:<file.dot|file.json>");
+    }
+    // (n, c) are meaningless for a fixed trace; the graph is whatever
+    // the file says.  Import errors propagate when the sweep builds the
+    // graph, carrying the path and the typed reason.
+    return {name,
+            [path](int /*n*/, double /*c*/) {
+              return load_task_graph(path).graph;
+            },
+            38};
+  }
   std::string known;
-  for (auto& entry : paper_testbeds()) {
+  for (auto& entry : all_testbeds()) {
     if (entry.name == name) return std::move(entry);
     if (!known.empty()) known += ", ";
     known += entry.name;
   }
-  throw std::invalid_argument("unknown testbed '" + name +
-                              "'; known: " + known);
+  throw std::invalid_argument("unknown testbed '" + name + "'; known: " +
+                              known + ", trace:<path>");
 }
 
 }  // namespace oneport::testbeds

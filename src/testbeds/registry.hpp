@@ -21,8 +21,22 @@ struct TestbedEntry {
 /// The paper's six kernels, in the order of §5.1.
 [[nodiscard]] std::vector<TestbedEntry> paper_testbeds();
 
+/// The non-paper workload families: "MLTRAIN" (data-parallel training
+/// step) and "MICROSVC" (microservice request fanout).  Same entry shape
+/// as the paper kernels, so sweeps pick them up unchanged;
+/// paper_best_b is the ILHA default (38) since the paper never measured
+/// these shapes.
+[[nodiscard]] std::vector<TestbedEntry> generated_testbeds();
+
+/// paper_testbeds() followed by generated_testbeds().
+[[nodiscard]] std::vector<TestbedEntry> all_testbeds();
+
 /// Lookup by name (case-sensitive); throws std::invalid_argument listing
-/// the known names when absent.
+/// the known names when absent.  Names of the form "trace:<path>" yield
+/// an entry whose generator imports the DOT/JSON DAG at <path> via
+/// graph/dot_import, ignoring the (n, c) arguments -- a trace is one
+/// fixed graph, not a scalable family.  An unreadable or malformed
+/// trace surfaces as ImportError when the generator runs, not at lookup.
 [[nodiscard]] TestbedEntry find_testbed(const std::string& name);
 
 }  // namespace oneport::testbeds

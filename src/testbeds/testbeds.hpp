@@ -67,6 +67,30 @@ inline constexpr double kPaperCommRatio = 10.0;
 [[nodiscard]] TaskGraph make_stencil(int n,
                                      double comm_ratio = kPaperCommRatio);
 
+/// MLTRAIN(n): data-parallel training step, n layers x kMltrainReplicas
+/// model replicas.  Per replica r: a forward chain f(r,1) -> ... ->
+/// f(r,n), a backward chain b(r,n) -> ... -> b(r,1) fed by f(r,n), plus
+/// activation edges f(r,l) -> b(r,l).  Per layer l an allreduce-style
+/// gradient exchange: every b(r,l) fans into g(l), which fans back out
+/// to the per-replica weight updates u(r,l).  Backward layers weigh
+/// twice their forward counterpart and middle layers are heaviest
+/// (attention-block shape); allreduce/update tasks are light but move
+/// the full gradient, so their edges dominate communication.
+/// 13n tasks for the default 4 replicas; deterministic in n.
+inline constexpr int kMltrainReplicas = 4;
+[[nodiscard]] TaskGraph make_mltrain(int n,
+                                     double comm_ratio = kPaperCommRatio);
+
+/// MICROSVC(n): microservice request fanout -- a root request task, n
+/// first-tier services, each fanning out to 0..3 second-tier backends
+/// (depth <= 3 counting the root), every leaf joining into one
+/// aggregator.  Service times are heavy-tailed (bounded Pareto,
+/// alpha = 1.3, capped at 50x the minimum) so a few stragglers dominate
+/// the critical path, unlike the unit-weight paper kernels.
+/// Deterministic in n.
+[[nodiscard]] TaskGraph make_microsvc(int n,
+                                      double comm_ratio = kPaperCommRatio);
+
 /// Random layered DAG for property tests: `layers` layers of up to
 /// `max_width` tasks; each non-entry task draws 1..max_in_degree parents
 /// from the previous `back_reach` layers; weights in [w_lo, w_hi), edge

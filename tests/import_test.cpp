@@ -1,0 +1,326 @@
+// Fuzz/property battery for graph/dot_import (ISSUE-10 satellite):
+//   * round-trip pins: export -> import -> export is byte-identical in
+//     both formats over seeded random DAGs and every testbed generator;
+//   * a malformed-input corpus asserting the TYPED rejection kind --
+//     cycles, dangling edges, duplicate ids, NaN/negative weights,
+//     truncated exporter dumps -- no crash, no silent acceptance;
+//   * a prefix-truncation fuzz: every proper prefix of a valid file
+//     either parses or throws ImportError (nothing else escapes).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/dot_export.hpp"
+#include "graph/dot_import.hpp"
+#include "graph/task_graph.hpp"
+#include "testbeds/registry.hpp"
+#include "testbeds/testbeds.hpp"
+
+namespace oneport {
+namespace {
+
+std::string to_dot(const TaskGraph& g, const std::string& name) {
+  std::ostringstream os;
+  write_dot(os, g, {.graph_name = name});
+  return os.str();
+}
+
+std::string to_json(const TaskGraph& g, const std::string& name) {
+  std::ostringstream os;
+  write_json_graph(os, g, {.graph_name = name});
+  return os.str();
+}
+
+/// Structural equality independent of the textual form.
+void expect_same_graph(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(a.weight(v), b.weight(v)) << "task " << v;
+    EXPECT_EQ(a.name(v), b.name(v)) << "task " << v;
+    const auto sa = a.successors(v);
+    const auto sb = b.successors(v);
+    ASSERT_EQ(sa.size(), sb.size()) << "task " << v;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].task, sb[i].task) << "task " << v << " edge " << i;
+      EXPECT_DOUBLE_EQ(sa[i].data, sb[i].data)
+          << "task " << v << " edge " << i;
+    }
+  }
+}
+
+ImportError::Kind kind_of(const std::string& text) {
+  try {
+    (void)import_task_graph(text);
+  } catch (const ImportError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "input was accepted:\n" << text;
+  return ImportError::Kind::kIo;
+}
+
+// ------------------------------------------------------- round trips
+
+TEST(ImportRoundTrip, DotByteIdentityOverSeededRandomDags) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    testbeds::RandomDagOptions options;
+    options.seed = seed;
+    options.layers = 3 + static_cast<int>(seed % 6);
+    options.max_width = 2 + static_cast<int>(seed % 5);
+    const TaskGraph g = testbeds::make_random_layered(options);
+    // The first export may round weights (format_number keeps a few
+    // significant digits); identity is over the normalized form: the
+    // exported text reproduces itself byte for byte through import, and
+    // re-importing that text rebuilds the identical structure.
+    const std::string once = to_dot(g, "fuzz");
+    const ImportedGraph imported = import_dot(once);
+    EXPECT_EQ(imported.graph_name, "fuzz");
+    const std::string twice = to_dot(imported.graph, imported.graph_name);
+    EXPECT_EQ(once, twice) << "seed " << seed;
+    expect_same_graph(imported.graph, import_dot(twice).graph);
+  }
+}
+
+TEST(ImportRoundTrip, JsonByteIdentityOverSeededRandomDags) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    testbeds::RandomDagOptions options;
+    options.seed = seed * 977;
+    const TaskGraph g = testbeds::make_random_layered(options);
+    const std::string once = to_json(g, "fuzz_json");
+    const ImportedGraph imported = import_json(once);
+    EXPECT_EQ(imported.graph_name, "fuzz_json");
+    const std::string twice = to_json(imported.graph, imported.graph_name);
+    EXPECT_EQ(once, twice) << "seed " << seed;
+    expect_same_graph(imported.graph, import_json(twice).graph);
+  }
+}
+
+TEST(ImportRoundTrip, EveryRegisteredTestbedRoundTripsBothFormats) {
+  for (const auto& entry : testbeds::all_testbeds()) {
+    const TaskGraph g = entry.make(6, testbeds::kPaperCommRatio);
+    const std::string dot = to_dot(g, "bed");
+    const std::string json = to_json(g, "bed");
+    EXPECT_EQ(dot, to_dot(import_dot(dot).graph, "bed")) << entry.name;
+    EXPECT_EQ(json, to_json(import_json(json).graph, "bed")) << entry.name;
+  }
+}
+
+TEST(ImportRoundTrip, SnifferDispatchesOnLeadingByte) {
+  TaskGraph g;
+  g.add_task(1.0, "only");
+  g.finalize();
+  const std::string dot = to_dot(g, "one");
+  const std::string json = "\n  " + to_json(g, "one");  // leading ws
+  expect_same_graph(import_task_graph(dot).graph, g);
+  expect_same_graph(import_task_graph(json).graph, g);
+}
+
+TEST(ImportRoundTrip, PlaceholderNamesMapBackToEmpty) {
+  TaskGraph g;
+  g.add_task(2.0);  // unnamed: exported as label "v0"
+  g.add_task(3.0, "named");
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const ImportedGraph imported = import_dot(to_dot(g, "g"));
+  EXPECT_EQ(imported.graph.name(0), "");
+  EXPECT_EQ(imported.graph.name(1), "named");
+}
+
+TEST(ImportRoundTrip, MinimalJsonDocument) {
+  // Smallest valid document: one task, no edges.  (The shipped
+  // examples/traces/ files are exercised end to end by the
+  // sweep_cli_imports_example_traces CTest smoke.)
+  const ImportedGraph one = import_json(
+      "{\"name\": \"d\", \"tasks\": [{\"id\": 0, \"w\": 1}], \"edges\": []}");
+  EXPECT_EQ(one.graph.num_tasks(), 1u);
+  EXPECT_DOUBLE_EQ(one.graph.weight(0), 1.0);
+}
+
+// ------------------------------------------- malformed-input corpus
+
+TEST(ImportRejects, MissingFile) {
+  try {
+    (void)load_task_graph("/nonexistent/not_here.dot");
+    FAIL() << "missing file accepted";
+  } catch (const ImportError& e) {
+    EXPECT_EQ(e.kind(), ImportError::Kind::kIo);
+    EXPECT_NE(std::string(e.what()).find("not_here.dot"), std::string::npos);
+  }
+}
+
+TEST(ImportRejects, EmptyAndHeaderlessInput) {
+  EXPECT_EQ(kind_of(""), ImportError::Kind::kSyntax);
+  EXPECT_EQ(kind_of("   \n\t\n"), ImportError::Kind::kSyntax);
+  EXPECT_EQ(kind_of("graph g {\n}\n"), ImportError::Kind::kSyntax);
+}
+
+TEST(ImportRejects, TruncatedExporterDump) {
+  TaskGraph g;
+  for (int i = 0; i < 8; ++i) g.add_task(1.0);
+  g.finalize();
+  std::ostringstream os;
+  write_dot(os, g, {.graph_name = "big", .max_tasks = 4});
+  const std::string kind_name =
+      import_error_kind_name(ImportError::Kind::kTruncatedDump);
+  EXPECT_EQ(kind_name, "truncated-dump");
+  EXPECT_EQ(kind_of(os.str()), ImportError::Kind::kTruncatedDump);
+}
+
+TEST(ImportRejects, CycleIsTyped) {
+  const std::string text =
+      "digraph c {\n"
+      "  n0 [label=\"a\\nw=1\"];\n"
+      "  n1 [label=\"b\\nw=1\"];\n"
+      "  n0 -> n1 [label=\"1\"];\n"
+      "  n1 -> n0 [label=\"1\"];\n"
+      "}\n";
+  EXPECT_EQ(kind_of(text), ImportError::Kind::kCycle);
+}
+
+TEST(ImportRejects, DuplicateNodeId) {
+  const std::string text =
+      "digraph d {\n"
+      "  n0 [label=\"a\\nw=1\"];\n"
+      "  n0 [label=\"b\\nw=2\"];\n"
+      "}\n";
+  EXPECT_EQ(kind_of(text), ImportError::Kind::kDuplicateNode);
+}
+
+TEST(ImportRejects, DanglingEdgeEndpoint) {
+  const std::string text =
+      "digraph d {\n"
+      "  n0 [label=\"a\\nw=1\"];\n"
+      "  n0 -> n7 [label=\"1\"];\n"
+      "}\n";
+  EXPECT_EQ(kind_of(text), ImportError::Kind::kUnknownNode);
+  // Non-dense ids are the same disease: n5 declared but 0..4 missing.
+  const std::string sparse =
+      "digraph d {\n"
+      "  n5 [label=\"a\\nw=1\"];\n"
+      "}\n";
+  EXPECT_EQ(kind_of(sparse), ImportError::Kind::kUnknownNode);
+}
+
+TEST(ImportRejects, DuplicateEdgeAndSelfLoop) {
+  const std::string dup =
+      "digraph d {\n"
+      "  n0 [label=\"a\\nw=1\"];\n"
+      "  n1 [label=\"b\\nw=1\"];\n"
+      "  n0 -> n1 [label=\"1\"];\n"
+      "  n0 -> n1 [label=\"2\"];\n"
+      "}\n";
+  EXPECT_EQ(kind_of(dup), ImportError::Kind::kDuplicateEdge);
+  const std::string self_loop =
+      "digraph d {\n"
+      "  n0 [label=\"a\\nw=1\"];\n"
+      "  n0 -> n0 [label=\"1\"];\n"
+      "}\n";
+  EXPECT_EQ(kind_of(self_loop), ImportError::Kind::kDuplicateEdge);
+}
+
+TEST(ImportRejects, BadWeights) {
+  const char* cases[] = {"nan", "-1", "inf", "-0.5", "1.2.3", "weighty", ""};
+  for (const char* bad : cases) {
+    const std::string text = std::string("digraph w {\n  n0 [label=\"a\\nw=") +
+                             bad + "\"];\n}\n";
+    const ImportError::Kind kind = kind_of(text);
+    EXPECT_TRUE(kind == ImportError::Kind::kBadWeight ||
+                kind == ImportError::Kind::kSyntax)
+        << "weight '" << bad << "' -> " << import_error_kind_name(kind);
+  }
+  // NaN / negative edge data, via JSON where the grammar is unambiguous.
+  const std::string nan_edge =
+      "{\"name\": \"j\", \"tasks\": [{\"id\": 0, \"w\": 1}, "
+      "{\"id\": 1, \"w\": 1}], \"edges\": [{\"src\": 0, \"dst\": 1, "
+      "\"data\": nan}]}";
+  EXPECT_EQ(kind_of(nan_edge), ImportError::Kind::kBadWeight);
+  const std::string neg_edge =
+      "{\"name\": \"j\", \"tasks\": [{\"id\": 0, \"w\": 1}, "
+      "{\"id\": 1, \"w\": 1}], \"edges\": [{\"src\": 0, \"dst\": 1, "
+      "\"data\": -2}]}";
+  EXPECT_EQ(kind_of(neg_edge), ImportError::Kind::kBadWeight);
+}
+
+TEST(ImportRejects, JsonStructuralErrors) {
+  EXPECT_EQ(kind_of("{"), ImportError::Kind::kSyntax);
+  EXPECT_EQ(kind_of("{}"), ImportError::Kind::kSyntax);
+  EXPECT_EQ(kind_of("{\"name\": \"x\"}"), ImportError::Kind::kSyntax);
+  EXPECT_EQ(kind_of("{\"name\": \"x\", \"tasks\": [], \"edges\": [], "
+                    "\"extra\": 1}"),
+            ImportError::Kind::kSyntax);
+  EXPECT_EQ(
+      kind_of("{\"name\": \"x\", \"tasks\": [{\"id\": 0}], \"edges\": []}"),
+      ImportError::Kind::kSyntax);
+  // Duplicate ids / dangling endpoints carry their typed kinds in JSON
+  // too -- the structural checks are shared with the DOT path.
+  EXPECT_EQ(kind_of("{\"name\": \"x\", \"tasks\": [{\"id\": 0, \"w\": 1}, "
+                    "{\"id\": 0, \"w\": 2}], \"edges\": []}"),
+            ImportError::Kind::kDuplicateNode);
+  EXPECT_EQ(kind_of("{\"name\": \"x\", \"tasks\": [{\"id\": 0, \"w\": 1}], "
+                    "\"edges\": [{\"src\": 0, \"dst\": 3, \"data\": 1}]}"),
+            ImportError::Kind::kUnknownNode);
+}
+
+// ------------------------------------------------ prefix-truncation fuzz
+
+/// Every proper prefix of a valid file must either parse cleanly or
+/// throw ImportError -- never anything else, never UB.  (ASan/UBSan CI
+/// legs run this same suite, giving the "never UB" half teeth.)
+void fuzz_prefixes(const std::string& text) {
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    const std::string prefix = text.substr(0, cut);
+    try {
+      (void)import_task_graph(prefix);
+    } catch (const ImportError&) {
+      // expected for almost every cut
+    } catch (const std::exception& e) {
+      FAIL() << "prefix of length " << cut << " escaped with "
+             << e.what();
+    }
+  }
+}
+
+TEST(ImportFuzz, DotPrefixesNeverEscape) {
+  testbeds::RandomDagOptions options;
+  options.seed = 7;
+  options.layers = 4;
+  const TaskGraph g = testbeds::make_random_layered(options);
+  fuzz_prefixes(to_dot(g, "prefix_fuzz"));
+}
+
+TEST(ImportFuzz, JsonPrefixesNeverEscape) {
+  testbeds::RandomDagOptions options;
+  options.seed = 11;
+  options.layers = 4;
+  const TaskGraph g = testbeds::make_random_layered(options);
+  fuzz_prefixes(to_json(g, "prefix_fuzz"));
+}
+
+TEST(ImportFuzz, ByteFlipsNeverEscape) {
+  TaskGraph g;
+  g.add_task(1.5, "a");
+  g.add_task(2.0);
+  g.add_edge(0, 1, 3.0);
+  g.finalize();
+  const std::string dot = to_dot(g, "flip");
+  // Flip every byte through a handful of interesting replacements.
+  const char replacements[] = {'\0', '{', '}', 'n', '"', '-', '9', '\n'};
+  for (std::size_t i = 0; i < dot.size(); ++i) {
+    for (const char r : replacements) {
+      std::string mutated = dot;
+      mutated[i] = r;
+      try {
+        (void)import_task_graph(mutated);
+      } catch (const ImportError&) {
+      } catch (const std::exception& e) {
+        FAIL() << "flip at " << i << " ('" << r << "') escaped with "
+               << e.what();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oneport

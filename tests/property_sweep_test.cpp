@@ -80,6 +80,25 @@ TEST(PropertySweepEdgeCases, AllHeuristicsSatisfyAllInvariants) {
   }
 }
 
+// Workload-family axis (ISSUE-10): the ML-training and microservice
+// generators plus graphs that took a DOT/JSON export -> import round
+// trip through graph/dot_import get the same verification depth as the
+// synthetic kernels.  Count 8 = two full rotations through the four
+// workload variants per base seed.
+class WorkloadPropertySweepTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorkloadPropertySweepTest, AllHeuristicsSatisfyAllInvariants) {
+  const std::uint64_t base = GetParam();
+  for (const Scenario& scenario :
+       testsupport::workload_scenario_sweep(base, 8)) {
+    sweep_scenario(scenario);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadPropertySweepTest,
+                         ::testing::Values<std::uint64_t>(151, 257, 353));
+
 // Sparse-topology axis (the ISSUE-3 tentpole, grown by ISSUE-4/5):
 // every heuristic under both communication models over ring / star /
 // random-connected / line / two-node / 2D-mesh / torus / fat-tree
@@ -140,6 +159,10 @@ TEST(PropertySweepDifferential, TimelineImplsYieldIdenticalSchedules) {
     scenarios.push_back(std::move(scenario));
   }
   for (Scenario& scenario : testsupport::routed_scenario_sweep(9091, 10)) {
+    scenarios.push_back(std::move(scenario));
+  }
+  // ISSUE-10 workload families ride the same bit-identity pin.
+  for (Scenario& scenario : testsupport::workload_scenario_sweep(9191, 4)) {
     scenarios.push_back(std::move(scenario));
   }
   struct Variant {

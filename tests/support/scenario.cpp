@@ -1,7 +1,10 @@
 #include "support/scenario.hpp"
 
+#include <sstream>
 #include <utility>
 
+#include "graph/dot_export.hpp"
+#include "graph/dot_import.hpp"
 #include "testbeds/testbeds.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
@@ -171,6 +174,57 @@ std::vector<Scenario> routed_scenario_sweep(std::uint64_t base_seed, int count,
                random_graph(seed, options), std::move(routed.platform),
                std::move(routed.routing)};
     out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Scenario> workload_scenario_sweep(std::uint64_t base_seed,
+                                              int count,
+                                              const ScenarioOptions& options) {
+  std::vector<Scenario> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    SplitMix64 rng(seed * 0xA0761D6478BD642FULL + 0xE7037ED1A0B428DBULL);
+    // Small instances keep the full-heuristic x full-invariant sweep
+    // affordable; the generators are deterministic in n, so the workload
+    // axis varies via n while the platform varies via the seed.
+    std::string description;
+    TaskGraph graph;
+    switch (i % 4) {
+      case 0: {
+        const int layers = 2 + static_cast<int>(rng.below(3));
+        graph = testbeds::make_mltrain(layers);
+        description = "mltrain/n=" + std::to_string(layers);
+        break;
+      }
+      case 1: {
+        const int services = 3 + static_cast<int>(rng.below(8));
+        graph = testbeds::make_microsvc(services);
+        description = "microsvc/n=" + std::to_string(services);
+        break;
+      }
+      case 2: {
+        // DOT round trip: schedule what the importer rebuilt, not the
+        // original -- a structural importer bug breaks P1-P5 here.
+        std::ostringstream os;
+        write_dot(os, random_graph(seed, options), {.graph_name = "rt"});
+        graph = import_dot(os.str()).graph;
+        description = "imported-dot";
+        break;
+      }
+      default: {
+        std::ostringstream os;
+        write_json_graph(os, random_graph(seed, options),
+                         {.graph_name = "rt"});
+        graph = import_json(os.str()).graph;
+        description = "imported-json";
+        break;
+      }
+    }
+    description += "/seed=" + std::to_string(seed);
+    out.push_back({seed, std::move(description), std::move(graph),
+                   random_platform(seed * 11 + 3, options), std::nullopt});
   }
   return out;
 }

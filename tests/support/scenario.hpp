@@ -94,4 +94,15 @@ struct Scenario {
 [[nodiscard]] std::vector<Scenario> routed_scenario_sweep(
     std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
 
+/// `count` scenarios over the ISSUE-10 workload families, rotating
+/// through MLTRAIN (layered fwd/bwd chains with allreduce fan-in/out),
+/// MICROSVC (shallow wide fanout with heavy-tailed service times), and
+/// graphs that took a full DOT or JSON export -> import round trip
+/// through graph/dot_import before scheduling -- so imported graphs get
+/// the same P1-P5 verification depth as the synthetic kernels, and any
+/// importer bug that perturbs structure trips the invariant battery.
+/// Platforms stay random per seed (respecting `options`).
+[[nodiscard]] std::vector<Scenario> workload_scenario_sweep(
+    std::uint64_t base_seed, int count, const ScenarioOptions& options = {});
+
 }  // namespace oneport::testsupport

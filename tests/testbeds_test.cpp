@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "graph/dot_import.hpp"
 #include "graph/graph_algorithms.hpp"
 #include "testbeds/registry.hpp"
 #include "testbeds/testbeds.hpp"
@@ -172,6 +173,98 @@ TEST(Registry, FindsAllSixKernels) {
   EXPECT_EQ(find_testbed("LU").paper_best_b, 4);
   EXPECT_EQ(find_testbed("STENCIL").paper_best_b, 38);
   EXPECT_THROW(find_testbed("NOPE"), std::invalid_argument);
+}
+
+TEST(Mltrain, Structure) {
+  const int n = 5;
+  const TaskGraph g = make_mltrain(n, 10.0);
+  // 4 replicas x (n fwd + n bwd) + n allreduce + 4n updates = 13n.
+  EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(13 * n));
+  // Entries are the four f(r, 0) tasks; exits the 4n weight updates.
+  EXPECT_EQ(g.entry_tasks().size(), static_cast<std::size_t>(kMltrainReplicas));
+  EXPECT_EQ(g.exit_tasks().size(),
+            static_cast<std::size_t>(kMltrainReplicas * n));
+  // Replica r, layer l: forward task 2(rn + l), backward right after it,
+  // and backward costs exactly twice its forward counterpart (the jitter
+  // is drawn once per layer and shared).
+  for (int r = 0; r < kMltrainReplicas; ++r) {
+    for (int l = 0; l < n; ++l) {
+      const auto f = static_cast<TaskId>(2 * (r * n + l));
+      EXPECT_DOUBLE_EQ(g.weight(f + 1), 2.0 * g.weight(f))
+          << "replica " << r << " layer " << l;
+    }
+  }
+  // Every allreduce fans in from all replicas and out to all replicas.
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (!g.name(v).empty() && g.name(v)[0] == 'g') {
+      EXPECT_EQ(g.in_degree(v), static_cast<std::size_t>(kMltrainReplicas));
+      EXPECT_EQ(g.out_degree(v), static_cast<std::size_t>(kMltrainReplicas));
+      EXPECT_DOUBLE_EQ(g.weight(v), 0.5);
+    }
+  }
+}
+
+TEST(Mltrain, DeterministicAndJitterBounded) {
+  const TaskGraph a = make_mltrain(4);
+  const TaskGraph b = make_mltrain(4);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(a.weight(v), b.weight(v));
+    // Forward weights: parabola in [1, 3] x jitter in [0.9, 1.1); the
+    // backward/update/allreduce tasks stay within 2x of that envelope.
+    EXPECT_GE(a.weight(v), 0.25);
+    EXPECT_LT(a.weight(v), 2.0 * 3.0 * 1.1);
+  }
+}
+
+TEST(Microsvc, Structure) {
+  const int n = 8;
+  const TaskGraph g = make_microsvc(n, 10.0);
+  // Root + aggregate + n services + 0..3n backends.
+  EXPECT_GE(g.num_tasks(), static_cast<std::size_t>(2 + n));
+  EXPECT_LE(g.num_tasks(), static_cast<std::size_t>(2 + 4 * n));
+  EXPECT_EQ(g.name(0), "request");
+  EXPECT_EQ(g.name(1), "aggregate");
+  ASSERT_EQ(g.entry_tasks().size(), 1u);
+  ASSERT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(g.entry_tasks()[0], 0u);
+  EXPECT_EQ(g.exit_tasks()[0], 1u);
+  EXPECT_EQ(g.out_degree(0), static_cast<std::size_t>(n));
+  // Heavy-tailed but bounded service times; data = c * w(src).
+  for (TaskId v = 2; v < g.num_tasks(); ++v) {
+    EXPECT_GE(g.weight(v), 0.5) << g.name(v);
+    EXPECT_LE(g.weight(v), 25.0) << g.name(v);
+  }
+  for (TaskId u = 0; u < g.num_tasks(); ++u) {
+    for (const EdgeRef& e : g.successors(u)) {
+      EXPECT_DOUBLE_EQ(e.data, 10.0 * g.weight(u));
+    }
+  }
+}
+
+TEST(Microsvc, DeterministicPerSize) {
+  const TaskGraph a = make_microsvc(6);
+  const TaskGraph b = make_microsvc(6);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(a.weight(v), b.weight(v));
+    EXPECT_EQ(a.name(v), b.name(v));
+  }
+}
+
+TEST(GeneratedRegistry, ExposesWorkloadFamiliesAndTraces) {
+  const auto generated = generated_testbeds();
+  ASSERT_EQ(generated.size(), 2u);
+  EXPECT_EQ(generated[0].name, "MLTRAIN");
+  EXPECT_EQ(generated[1].name, "MICROSVC");
+  EXPECT_EQ(all_testbeds().size(), paper_testbeds().size() + 2u);
+  EXPECT_EQ(find_testbed("MLTRAIN").make(2, 10.0).num_tasks(), 26u);
+  // trace:<path> resolves lazily: the lookup succeeds, materializing the
+  // graph reads the file (and reports a typed error when it is absent).
+  EXPECT_THROW(find_testbed("trace:"), std::invalid_argument);
+  const TestbedEntry trace = find_testbed("trace:/nonexistent/graph.dot");
+  EXPECT_THROW(trace.make(1, 10.0), ImportError);
 }
 
 }  // namespace
